@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's evaluation figures and
+prints the same rows/series the paper plots, alongside the paper's reported
+values, so a run of ``pytest benchmarks/ --benchmark-only`` doubles as the
+full reproduction report.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="run the experiments at the paper's full scale (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_scale(request):
+    return request.config.getoption("--full-scale")
+
+
+def report(title: str, paper: str, table: str) -> None:
+    """Print one figure's reproduction block."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n  paper reports: {paper}\n{bar}\n{table}\n")

@@ -1,0 +1,33 @@
+"""Ablation — sounding overhead vs. channel staleness (§5, §5.2b).
+
+The paper amortizes one sounding phase over many packets because indoor
+channels stay coherent for hundreds of milliseconds; conversely it warns
+that without per-packet phase re-anchoring the system "would force ...
+measuring H every few milliseconds".  This bench sweeps the re-sounding
+interval for several coherence times: net throughput peaks at an interval
+that scales with the coherence time, and collapses for intervals beyond it.
+"""
+
+from benchmarks.conftest import report
+from repro.sim.overhead import run_overhead_experiment
+
+
+def test_sounding_interval_ablation(benchmark, full_scale):
+    n_topologies = 12 if full_scale else 6
+    result = benchmark.pedantic(
+        lambda: run_overhead_experiment(seed=11, n_topologies=n_topologies),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Ablation: net throughput vs. re-sounding interval (6 APs, 22 dB)",
+        "optimum interval scales with coherence time; beyond it ZF collapses",
+        result.format_table(),
+    )
+    best = result.best_interval_s
+    coherences = sorted(best)
+    # optimum grows (weakly) with coherence time
+    assert best[coherences[-1]] >= best[coherences[0]]
+    # intervals far beyond the coherence time lose most throughput
+    for tc, curve in result.net_throughput_bps.items():
+        assert curve[-1] < max(curve) / 2

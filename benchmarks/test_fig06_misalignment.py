@@ -1,0 +1,23 @@
+"""Figure 6 — degradation of SNR due to phase misalignment.
+
+Paper: "even a phase misalignment as small as 0.35 radians can cause an SNR
+reduction of almost 8 dB at an SNR of 20 dB"; loss grows with misalignment
+and is worse at higher SNR.
+"""
+
+from benchmarks.conftest import report
+from repro.sim.experiments import run_fig6
+
+
+def test_fig6_snr_reduction(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig6(seed=1, n_channels=100), rounds=1, iterations=1
+    )
+    report(
+        "Figure 6: SNR reduction vs. phase misalignment (2x2, 100 channels)",
+        "~8 dB loss at 0.35 rad / 20 dB SNR; higher SNR hurts more",
+        result.format_table(),
+    )
+    loss = result.reduction_at(20.0, 0.35)
+    assert 6.0 < loss < 10.0
+    assert result.reduction_at(20.0, 0.35) > result.reduction_at(10.0, 0.35)

@@ -1,0 +1,33 @@
+"""Figure 9 — network throughput scaling with the number of APs.
+
+Paper (Figs. 9a-c): MegaMIMO throughput grows linearly with AP count while
+802.11 stays flat; median gain at 10 APs is 9.4x (high SNR), 9.1x (medium)
+and 8.1x (low); 802.11 baselines are ~23.6 / 14.9 / 7.75 Mbps.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.sim.experiments import run_fig9
+
+
+def test_fig9_throughput_scaling(benchmark, full_scale):
+    n_topologies = 20 if full_scale else 8
+    result = benchmark.pedantic(
+        lambda: run_fig9(seed=4, n_topologies=n_topologies),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Figure 9: throughput vs. number of APs (USRP testbed)",
+        "linear scaling; gains 9.4x/9.1x/8.1x at 10 APs; flat 802.11",
+        result.format_table(),
+    )
+    # linear-ish scaling: 10-AP throughput >= 3.5x the 2-AP throughput
+    for band in ("high", "medium", "low"):
+        mm = result.mean_megamimo_mbps(band)
+        assert mm[-1] > 3.5 * mm[0]
+    assert 7.0 < result.median_gain("high", 10) < 11.0
+    assert result.mean_baseline_mbps("high").mean() == np.clip(
+        result.mean_baseline_mbps("high").mean(), 20.0, 26.0
+    )

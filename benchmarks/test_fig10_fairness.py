@@ -1,0 +1,35 @@
+"""Figure 10 — fairness: CDFs of per-client throughput gain.
+
+Paper: all clients see roughly the same gain as the aggregate (MegaMIMO is
+fair); the CDF is wider at low SNR due to measurement noise.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.sim.experiments import run_fig9, run_fig10
+
+
+def test_fig10_per_client_gain_cdfs(benchmark, full_scale):
+    n_topologies = 20 if full_scale else 8
+
+    def run():
+        fig9 = run_fig9(seed=4, n_aps=(2, 6, 10), n_topologies=n_topologies)
+        return run_fig10(fig9, n_aps=(2, 6, 10))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Figure 10: CDFs of per-client throughput gain (2/6/10 APs)",
+        "per-client gains track the aggregate gain; wider CDF at low SNR",
+        result.format_table(),
+    )
+    # fairness: the middle 80% of clients at 10 APs/high SNR spans a
+    # bounded range around the median
+    g = result.gains[("high", 10)]
+    p10, p50, p90 = np.percentile(g, [10, 50, 90])
+    assert p90 / max(p10, 1e-9) < 4.0
+    assert 6.0 < p50 < 12.0
+    # CDF is wider at low SNR (relative spread)
+    g_low = result.gains[("low", 10)]
+    spread = lambda x: np.percentile(x, 90) - np.percentile(x, 10)
+    assert spread(g_low) / np.median(g_low) > 0.5 * spread(g) / np.median(g)

@@ -1,0 +1,30 @@
+"""Figure 11 — diversity throughput vs. SNR.
+
+Paper: with 10 APs a client with 0 dB channels (no 802.11 throughput at
+all) achieves ~21 Mbps; diversity gains are largest at low SNR and expand
+the coverage range / eliminate dead spots.
+"""
+
+from benchmarks.conftest import report
+from repro.sim.experiments import run_fig11
+
+
+def test_fig11_diversity_throughput(benchmark, full_scale):
+    n_draws = 40 if full_scale else 15
+    result = benchmark.pedantic(
+        lambda: run_fig11(seed=5, n_draws=n_draws), rounds=1, iterations=1
+    )
+    report(
+        "Figure 11: diversity throughput vs. SNR (1 client, 2-10 APs)",
+        "0 dB client: 0 Mbps with 802.11 -> ~21 Mbps with 10 APs",
+        result.format_table(),
+    )
+    zero_db_idx = int(abs(result.snr_db - 0.0).argmin())
+    assert result.throughput_mbps[1][zero_db_idx] < 2.0
+    assert 14.0 < result.throughput_mbps[10][zero_db_idx] < 26.0
+    # more APs never hurt
+    for lo, hi in ((2, 4), (4, 6), (6, 8), (8, 10)):
+        assert (
+            result.throughput_mbps[hi][zero_db_idx]
+            >= result.throughput_mbps[lo][zero_db_idx] - 1.0
+        )

@@ -1,0 +1,24 @@
+"""Figure 12 — throughput with off-the-shelf 802.11n cards.
+
+Paper: two 2-antenna MegaMIMO APs jointly serving two 2-antenna 802.11n
+clients deliver an average gain of 1.67-1.83x over 802.11n across high,
+medium and low SNR; high-SNR gains exceed low-SNR gains.
+"""
+
+from benchmarks.conftest import report
+from repro.sim.experiments import run_fig12
+
+
+def test_fig12_80211n_throughput(benchmark, full_scale):
+    n_topologies = 40 if full_scale else 20
+    result = benchmark.pedantic(
+        lambda: run_fig12(seed=6, n_topologies=n_topologies), rounds=1, iterations=1
+    )
+    report(
+        "Figure 12: 802.11n-compat throughput (2x 2-ant APs -> 2x 2-ant clients)",
+        "average gain 1.67-1.83x across SNR bands; high > low",
+        result.format_table(),
+    )
+    for band in ("high", "medium", "low"):
+        assert 1.3 < result.mean_gain(band) < 2.3
+    assert result.mean_gain("high") > result.mean_gain("low") - 0.1

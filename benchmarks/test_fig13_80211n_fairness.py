@@ -1,0 +1,22 @@
+"""Figure 13 — fairness of the 802.11n-compat gains.
+
+Paper: every node's gain falls between 1.65x and 2x with a median of 1.8x.
+"""
+
+from benchmarks.conftest import report
+from repro.sim.experiments import run_fig12, run_fig13
+
+
+def test_fig13_per_node_gain_cdf(benchmark, full_scale):
+    n_topologies = 40 if full_scale else 20
+
+    def run():
+        return run_fig13(run_fig12(seed=6, n_topologies=n_topologies))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Figure 13: CDF of per-node 802.11n-compat throughput gain",
+        "gains 1.65-2x for all nodes, median 1.8x",
+        result.format_table(),
+    )
+    assert 1.4 < result.median < 2.2

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Working with off-the-shelf 802.11n clients (§6).
+
+An 802.11n card with 2 antennas can only sound 2 transmit streams per
+packet, so it can never snapshot a 4-antenna distributed system at once.
+This example runs the paper's reference-antenna "trick": every sounding is
+a 2-stream packet containing the lead's reference antenna L1, and phase
+drift between packets is cancelled using measurements of L1 alone — then
+beamforms 4 streams from two independent APs to two 2-antenna clients.
+
+    python examples/compat_80211n.py
+"""
+
+import numpy as np
+
+from repro.core.beamforming import zero_forcing_precoder
+from repro.core.compat80211n import Compat80211nSounder, stitching_phase_error
+from repro.core.narrowband import NarrowbandNetwork
+from repro.utils.units import linear_to_db
+
+TX = ["L1", "L2", "S1", "S2"]
+RX = ["R1a", "R1b", "R2a", "R2b"]
+
+
+def build_network(seed):
+    net = NarrowbandNetwork(rng=seed)
+    net.add_device("lead-ap", ["L1", "L2"])
+    net.add_device("slave-ap", ["S1", "S2"])
+    net.add_device("client1", ["R1a", "R1b"])
+    net.add_device("client2", ["R2a", "R2b"])
+    net.randomize_channels(TX, RX + ["S1"])
+    return net
+
+
+def main():
+    net = build_network(seed=3)
+    sounder = Compat80211nSounder(net, reference_antenna="L1",
+                                  client_snr_db=30.0, ap_snr_db=35.0)
+
+    print("1. Stitched sounding: sequential 2-stream packets, 2 ms apart")
+    est = sounder.measure(TX, RX, packet_spacing_s=2e-3)
+    truth = sounder.true_snapshot(TX, RX, est.reference_time)
+    errors = stitching_phase_error(est, truth)
+    print(f"   median stitching phase error: {np.median(errors):.4f} rad")
+
+    naive = sounder.naive_measure(TX, RX, packet_spacing_s=2e-3)
+    naive_errors = stitching_phase_error(naive, truth)
+    print(f"   naive (no reference antenna): {np.median(naive_errors):.4f} rad")
+
+    print("\n2. Joint 4x4 zero-forcing from the stitched snapshot")
+    w, k = zero_forcing_precoder(est.channel)
+    eff = truth @ w
+    signal = np.abs(np.diag(eff)) ** 2
+    leak = np.sum(np.abs(eff) ** 2, axis=1) - signal
+    for i, rx in enumerate(RX):
+        sir = linear_to_db(signal[i] / max(leak[i], 1e-30))
+        print(f"   stream -> {rx}: signal-to-leakage {sir:6.1f} dB")
+
+    print("\n3. The same precoder from the naive snapshot")
+    w_naive, _ = zero_forcing_precoder(naive.channel)
+    eff = truth @ w_naive
+    signal = np.abs(np.diag(eff)) ** 2
+    leak = np.sum(np.abs(eff) ** 2, axis=1) - signal
+    worst = linear_to_db(np.min(signal / np.maximum(leak, 1e-30)))
+    print(f"   worst stream signal-to-leakage: {worst:.1f} dB "
+          "(inter-packet drift corrupts the snapshot)")
+
+    print(
+        "\nOnly the reference-antenna stitching yields a snapshot clean"
+        "\nenough for distributed beamforming — with zero client changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

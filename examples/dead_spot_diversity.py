@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Dead-spot revival with coherent diversity (§8, §11.4).
+
+A client with ~0 dB links cannot receive anything from a single 802.11 AP.
+With MegaMIMO's diversity mode, N APs transmit the same stream with
+per-packet phase synchronization so the signals add coherently — an N^2
+SNR gain — and the dead spot comes alive.  The paper's Fig. 11 reports
+~21 Mbps at 0 dB with 10 APs.
+
+    python examples/dead_spot_diversity.py
+"""
+
+import numpy as np
+
+from repro import MegaMimoSystem, SystemConfig, get_mcs
+from repro.channel.models import RicianChannel
+from repro.constants import MAC_EFFICIENCY, SAMPLE_RATE_USRP
+from repro.mac.rate import EffectiveSnrRateSelector
+from repro.sim.fastsim import SyncErrorModel, diversity_snr_db, build_channel_tensor
+
+
+def sample_level_demo():
+    """Sample level: a 4-AP system actually delivering a packet at 3 dB."""
+    print("Sample-level demo: 4 APs, one client with 3 dB links\n")
+    config = SystemConfig(n_aps=4, n_clients=1, seed=20)
+    system = MegaMimoSystem.create(
+        config, client_snr_db=3.0, channel_model=RicianChannel(k_factor=8.0)
+    )
+    system.run_sounding(0.0)
+    report = system.diversity_transmit(
+        b"rescued from the dead spot!", get_mcs(1), client_index=0, start_time=1e-3
+    )
+    r = report.receptions[0]
+    print(f"  single-link SNR:       ~3 dB (no 802.11 service)")
+    print(f"  post-combining SNR:    {r.effective_snr_db:.1f} dB")
+    print(f"  decoded: {r.decoded.payload!r} (CRC {'ok' if r.decoded.crc_ok else 'BAD'})\n")
+
+
+def coverage_sweep():
+    """Fast path: throughput vs. link SNR for growing AP counts."""
+    rng = np.random.default_rng(11)
+    selector = EffectiveSnrRateSelector(SAMPLE_RATE_USRP, mac_efficiency=MAC_EFFICIENCY)
+    error_model = SyncErrorModel()
+    snrs = np.arange(-5.0, 21.0, 2.5)
+
+    print("Coverage sweep (throughput in Mbps):\n")
+    header = "SNR(dB)   802.11"
+    for n in (2, 4, 10):
+        header += f"  {n:3d} APs"
+    print(header)
+    for s in snrs:
+        row = f"{s:7.1f}"
+        base = np.mean(
+            [
+                selector.goodput(
+                    10 * np.log10(np.abs(build_channel_tensor(
+                        np.full((1, 1), s), rng)[:, 0, 0]) ** 2 + 1e-12)
+                )
+                for _ in range(20)
+            ]
+        ) / 1e6
+        row += f"  {base:7.2f}"
+        for n in (2, 4, 10):
+            rates = []
+            for _ in range(20):
+                ch = build_channel_tensor(np.full((1, n), s), rng)
+                errors = error_model.phase_errors(n, rng)
+                rates.append(selector.goodput(diversity_snr_db(ch[:, 0, :], phase_errors=errors)))
+            row += f"  {np.mean(rates) / 1e6:7.2f}"
+        print(row)
+    print(
+        "\nAt 0 dB a single AP delivers nothing; 10 APs deliver ~20 Mbps —"
+        "\ncoherent combining turns dead spots into served clients."
+    )
+
+
+if __name__ == "__main__":
+    sample_level_demo()
+    coverage_sweep()

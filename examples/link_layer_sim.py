@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Link-layer time simulation: MegaMIMO under real traffic (§9 + §5).
+
+Runs the event-driven downlink simulator — shared queue, lead election,
+joint scheduling, rate selection, ARQ — over Clarke-fading channels with
+periodic re-sounding, and shows three trade-offs the static experiments
+can't:
+
+1. goodput vs. offered load (saturation behaviour),
+2. the re-sounding interval sweet spot for a given coherence time,
+3. loss-driven rate adaptation under fast fading.
+
+    python examples/link_layer_sim.py
+"""
+
+import numpy as np
+
+from repro.mac.simulator import DownlinkSimulator, LinkLayerConfig
+
+
+def saturation_sweep():
+    print("1. Goodput vs. offered load (4 APs x 4 clients, Tc = 250 ms)\n")
+    print("   offered(Mbps)  delivered(Mbps)  mean latency(ms)")
+    for rate_pps in (100, 300, 600, 1200):
+        trace = DownlinkSimulator(
+            LinkLayerConfig(
+                n_aps=4, n_clients=4, duration_s=0.4,
+                arrival_rate_pps=float(rate_pps), seed=1,
+            )
+        ).run()
+        offered = 4 * rate_pps * 1500 * 8 / 1e6
+        print(
+            f"   {offered:13.1f}  {trace.total_goodput_bps / 1e6:15.1f}"
+            f"  {trace.mean_latency_s * 1e3:16.2f}"
+        )
+    print("   -> delivery tracks load until the channel saturates;"
+          " latency explodes past saturation.\n")
+
+
+def resound_sweep():
+    print("2. Re-sounding interval vs. goodput (Tc = 100 ms, backlogged)\n")
+    print("   interval(ms)  goodput(Mbps)  loss rate  soundings")
+    for interval_ms in (5, 15, 40, 100):
+        trace = DownlinkSimulator(
+            LinkLayerConfig(
+                n_aps=4, n_clients=4, duration_s=0.4,
+                coherence_time_s=0.1,
+                resound_interval_s=interval_ms * 1e-3, seed=2,
+            )
+        ).run()
+        print(
+            f"   {interval_ms:12d}  {trace.total_goodput_bps / 1e6:13.1f}"
+            f"  {trace.loss_rate:9.1%}  {trace.n_soundings:9d}"
+        )
+    print("   -> sound too often and airtime drowns in overhead;"
+          " too rarely and stale CSI loses packets.\n")
+
+
+def adaptation_demo():
+    print("3. Rate adaptation under fast fading (Tc = 40 ms, sparse sounding)\n")
+    base = dict(
+        n_aps=3, n_clients=3, duration_s=0.3,
+        coherence_time_s=0.04, resound_interval_s=60e-3, seed=3,
+    )
+    for adapt in (False, True):
+        trace = DownlinkSimulator(
+            LinkLayerConfig(rate_adaptation=adapt, **base)
+        ).run()
+        label = "adaptive" if adapt else "fixed   "
+        print(
+            f"   {label}: goodput {trace.total_goodput_bps / 1e6:5.1f} Mbps, "
+            f"loss {trace.loss_rate:5.1%}"
+        )
+    print("   -> widening the MCS margin on loss bursts trades peak rate"
+          "\n      for far fewer retransmissions.")
+
+
+if __name__ == "__main__":
+    saturation_sweep()
+    resound_sweep()
+    adaptation_demo()

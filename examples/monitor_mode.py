@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Monitor mode: sniff everything a bystander hears on the channel.
+
+Puts a passive listener on the medium while a MegaMIMO cell sounds and
+jointly transmits, captures its samples, and runs the packet sniffer +
+waveform analyzer over the capture.  A nice way to *see* the protocol:
+the sounding frame, the per-packet sync headers, the beamformed payloads
+(which the bystander generally cannot decode — the streams are nulled
+away from it), and any legacy traffic.
+
+    python examples/monitor_mode.py
+"""
+
+import numpy as np
+
+from repro import MegaMimoSystem, SystemConfig, get_mcs
+from repro.channel.interference import LegacySender
+from repro.channel.models import LinkChannel, RicianChannel
+from repro.channel.oscillator import Oscillator, OscillatorConfig
+from repro.core.system import OFDM_SIGNAL_POWER
+from repro.phy.analysis import analyze_waveform
+from repro.phy.sniffer import PacketSniffer
+from repro.utils.units import db_to_linear
+
+
+def main():
+    config = SystemConfig(n_aps=2, n_clients=2, seed=9)
+    system = MegaMimoSystem.create(
+        config, client_snr_db=25.0, channel_model=RicianChannel(k_factor=8.0)
+    )
+    fs = config.sample_rate
+
+    # a passive observer that hears every AP
+    spy_osc = Oscillator(OscillatorConfig(ppm_offset=0.7), rng=1)
+    system.medium.register_node("spy", spy_osc)
+    gain = db_to_linear(22.0) / OFDM_SIGNAL_POWER
+    for antenna in system.antenna_ids:
+        system.medium.set_link(
+            antenna, "spy", RicianChannel(k_factor=8.0).realize(gain, rng=2)
+        )
+
+    # run the protocol but keep the medium contents for the spy
+    print("Running sounding + one joint transmission with a spy present...\n")
+    system.run_sounding(0.0)
+
+    # replay a joint transmission without clearing, so the spy can listen
+    payloads = [b"secret for client zero!!", b"secret for client one!!!"]
+    original_clear = system.medium.clear
+    system.medium.clear = lambda: None  # keep transmissions audible
+    report = system.joint_transmit(payloads, get_mcs(2), start_time=1e-3)
+    # some legacy traffic on the same channel afterwards
+    system.medium.register_node("legacy", Oscillator(OscillatorConfig(ppm_offset=-1.2), rng=3))
+    system.medium.set_link("legacy", "spy", LinkChannel(taps=np.array([0.9 + 0.2j]) * np.sqrt(gain)))
+    LegacySender(frame_bytes=48, inter_frame_s=200e-6).schedule(
+        system.medium, "legacy", 2.6e-3, 0.8e-3, rng=4
+    )
+
+    capture = system.medium.receive("spy", 0.0, int(3.6e-3 * fs))
+    system.medium.clear = original_clear
+    system.medium.clear()
+
+    print("Capture stats:", analyze_waveform(capture).format_summary(), "\n")
+
+    packets = PacketSniffer(fs, threshold=0.65).sniff(capture)
+    print(f"The spy detected {len(packets)} frames:")
+    for p in packets:
+        t_ms = p.sample_offset / fs * 1e3
+        if p.decoded.crc_ok:
+            desc = f"DECODED {p.decoded.payload[:24]!r}"
+        elif p.decoded.mcs is not None:
+            desc = (f"header parsed ({p.decoded.mcs.name}, {p.decoded.length} B) "
+                    "but payload unreadable - beamformed away from the spy")
+        else:
+            desc = "preamble only (sounding / unparseable)"
+        print(f"  t={t_ms:6.3f} ms  cfo={p.cfo_hz:+7.0f} Hz  {desc}")
+
+    decoded_payloads = [p.decoded.payload for p in packets if p.decoded.crc_ok]
+    leaked = [pl for pl in payloads if pl in decoded_payloads]
+    print(
+        f"\nClient payloads leaked to the spy: {len(leaked)}/2 — beamforming"
+        "\nnulls are not a security mechanism, but off-axis SINR is usually"
+        "\ntoo low for the spy to decode what the clients decode cleanly."
+    )
+    for r, pl in zip(report.receptions, payloads):
+        assert r.decoded.payload == pl, "clients themselves must decode"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Why distributed phase sync is hard — and how MegaMIMO solves it (§4-§5).
+
+Walks through the paper's argument numerically:
+
+1. independent oscillators drift apart (the §1 numeric examples);
+2. one-shot CFO extrapolation accumulates unbounded phase error;
+3. MegaMIMO's per-packet direct measurement keeps error flat forever;
+4. decoupled measurements (§7): a client joining later doesn't force
+   re-measuring everyone.
+
+    python examples/phase_sync_deep_dive.py
+"""
+
+import numpy as np
+
+from repro import MegaMimoSystem, SystemConfig
+from repro.channel.models import RicianChannel
+from repro.core.decoupled import DecoupledChannelBook
+from repro.core.narrowband import NarrowbandNetwork
+from repro.core.phasesync import NaiveCfoExtrapolator
+from repro.core.sounding import REFERENCE_OFFSET
+from repro.phy.preamble import sync_header, sync_header_length
+from repro.utils.units import wrap_phase
+
+
+def part1_drift():
+    print("1. Oscillator drift (§1)")
+    print("   a 10 Hz CFO estimation error accumulates "
+          f"{np.rad2deg(2 * np.pi * 10 * 5.5e-3):.0f} degrees in 5.5 ms;")
+    print("   a 100 Hz error accumulates "
+          f"{2 * np.pi * 100 * 20e-3 / np.pi:.0f}*pi radians in 20 ms —")
+    print("   beamforming needs < 0.1 rad, so extrapolation cannot last.\n")
+
+
+def part2_extrapolation():
+    print("2. One-shot CFO extrapolation (the §5.2b strawman)")
+    naive = NaiveCfoExtrapolator(true_cfo_hz=5_000.0, cfo_error_hz=25.0)
+    print("   elapsed(ms)  accumulated phase error (rad)")
+    for t in (1e-3, 5e-3, 20e-3, 100e-3, 250e-3):
+        err = naive.phase_error(np.array([t]))[0]
+        print(f"   {t * 1e3:10.0f}  {err:12.2f}")
+    print()
+
+
+def part3_direct_measurement():
+    print("3. MegaMIMO: direct per-packet phase measurement")
+    config = SystemConfig(n_aps=2, n_clients=1, seed=5)
+    system = MegaMimoSystem.create(
+        config, client_snr_db=25.0, channel_model=RicianChannel(k_factor=8.0)
+    )
+    system.run_sounding(0.0)
+    slave = system.ap_ids[1]
+    sync = system.synchronizers[slave]
+    fs = config.sample_rate
+    header_len = sync_header_length()
+    lead_osc = system.medium.oscillator(system.lead_id)
+    slave_osc = system.medium.oscillator(slave)
+    tref = system.reference_time
+
+    print("   elapsed(ms)  measured-correction error (rad)")
+    for t_ms in (1, 5, 20, 100, 250):
+        t0 = round(t_ms * 1e-3 * fs) / fs
+        system.medium.clear()
+        system.medium.transmit(system.lead_id, sync_header(), t0)
+        rx = system.medium.receive(slave, t0, header_len)
+        obs = sync.observe_header(rx, t0 + REFERENCE_OFFSET / fs)
+        ideal = (
+            lead_osc.phase_at([obs.header_time])[0]
+            - slave_osc.phase_at([obs.header_time])[0]
+            - lead_osc.phase_at([tref])[0]
+            + slave_osc.phase_at([tref])[0]
+        )
+        err = abs(wrap_phase(float(np.angle(obs.rotation)) - ideal))
+        print(f"   {t_ms:10d}  {err:12.4f}")
+    system.medium.clear()
+    print("   -> flat in elapsed time: re-measuring beats predicting.\n")
+
+
+def part4_decoupled():
+    print("4. Decoupled measurements (§7): clients join at different times")
+    net = NarrowbandNetwork(rng=6)
+    aps = ["ap0", "ap1", "ap2"]
+    clients = ["alice", "bob", "carol"]
+    for ap in aps:
+        net.add_device(ap, [ap])
+    for c in clients:
+        net.add_device(c, [c])
+    net.randomize_channels(aps, clients + aps[1:])
+
+    book = DecoupledChannelBook(net, aps, client_snr_db=32.0, ap_snr_db=35.0)
+    book.record_measurement("alice", 0.0)
+    book.record_measurement("bob", 40e-3)     # joins 40 ms later
+    book.record_measurement("carol", 95e-3)   # joins 95 ms later
+
+    good = book.interference_leakage_db(t=120e-3)
+    bad = book.interference_leakage_db(t=120e-3, matrix=book.naive_matrix())
+    print(f"   leakage with lead-reference correction: {good:7.1f} dB")
+    print(f"   leakage without correction:             {bad:7.1f} dB")
+    print("   -> the lead->slave channels are the shared clock reference;"
+          "\n      nobody re-measures when a client joins.")
+
+
+if __name__ == "__main__":
+    part1_drift()
+    part2_extrapolation()
+    part3_direct_measurement()
+    part4_decoupled()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: two independent APs jointly beamform to two clients.
+
+Runs the full sample-level protocol — interleaved channel sounding, lead
+sync header, slave phase correction, zero-forcing beamforming — and shows
+both clients decoding their own packets concurrently on one channel.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MegaMimoSystem, SystemConfig, get_mcs
+from repro.channel.models import RicianChannel
+
+
+def main():
+    print("MegaMIMO quickstart: 2 APs -> 2 clients, one 10 MHz channel\n")
+
+    config = SystemConfig(n_aps=2, n_clients=2, seed=7)
+    system = MegaMimoSystem.create(
+        config,
+        client_snr_db=25.0,
+        channel_model=RicianChannel(k_factor=8.0),  # conference-room LOS
+    )
+
+    print("1. Channel measurement phase (interleaved sounding, §5.1)...")
+    sounding = system.run_sounding(start_time=0.0)
+    for i, est in enumerate(sounding.client_estimates):
+        cfos = ", ".join(f"{c:+.0f} Hz" for c in est.cfos_hz)
+        print(f"   client{i}: per-AP CFOs [{cfos}], "
+              f"noise estimate {est.noise_power:.2f}")
+
+    print("\n2. Joint data transmission (sync header + beamforming, §5.2)...")
+    payloads = [b"packet for client zero :)", b"packet for client one  :D"]
+    report = system.joint_transmit(payloads, get_mcs(2), start_time=1e-3)
+
+    for slave, mis in report.misalignment_rad.items():
+        print(f"   {slave} phase misalignment at transmit time: {mis:.4f} rad")
+    print(f"   beamforming diagonal gain k = {report.precoder_gain:.2f}\n")
+
+    print("3. Client decode results:")
+    for i, (reception, sent) in enumerate(zip(report.receptions, payloads)):
+        decoded = reception.decoded
+        status = "OK " if decoded.crc_ok and decoded.payload == sent else "FAIL"
+        print(
+            f"   client{i}: [{status}] SNR {reception.effective_snr_db:5.1f} dB, "
+            f"EVM {reception.evm_db:6.1f} dB, payload={decoded.payload!r}"
+        )
+
+    both = all(
+        r.decoded.crc_ok and r.decoded.payload == p
+        for r, p in zip(report.receptions, payloads)
+    )
+    print(
+        "\nTwo packets delivered concurrently by two independent, "
+        "unsynchronized APs." if both else "\nDecode failed — try another seed."
+    )
+
+
+if __name__ == "__main__":
+    main()

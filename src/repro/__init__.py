@@ -1,0 +1,50 @@
+"""MegaMIMO / JMB reproduction: joint multi-user beamforming from
+distributed access points (Rahul, Kumar, Katabi — SIGCOMM 2012).
+
+Quick start::
+
+    from repro import MegaMimoSystem, SystemConfig
+    from repro.phy.mcs import get_mcs
+
+    system = MegaMimoSystem.create(
+        SystemConfig(n_aps=2, n_clients=2, seed=7), client_snr_db=20.0
+    )
+    system.run_sounding(start_time=0.0)
+    report = system.joint_transmit(
+        [b"hello client 0", b"hello client 1"], get_mcs(2), start_time=1e-3
+    )
+    for reception in report.receptions:
+        print(reception.decoded.payload)
+
+See ``examples/`` for complete scenarios and ``repro.sim.experiments`` for
+the paper's evaluation figures.
+"""
+
+from repro.core.system import (
+    JointTransmissionReport,
+    MegaMimoSystem,
+    SystemConfig,
+)
+from repro.core.beamforming import (
+    diversity_precoder,
+    zero_forcing_precoder,
+)
+from repro.core.phasesync import PhaseSynchronizer
+from repro.mac.rate import EffectiveSnrRateSelector
+from repro.phy.mcs import ALL_MCS, get_mcs, mcs_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MegaMimoSystem",
+    "SystemConfig",
+    "JointTransmissionReport",
+    "zero_forcing_precoder",
+    "diversity_precoder",
+    "PhaseSynchronizer",
+    "EffectiveSnrRateSelector",
+    "ALL_MCS",
+    "get_mcs",
+    "mcs_by_name",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Wireless propagation and hardware-imperfection models.
+
+Everything the paper's USRP testbed provided physically is simulated here:
+free-running oscillators (carrier and sampling clocks), indoor multipath
+channels with a conference-room geometry, path loss, AWGN and a shared
+medium that superposes concurrent transmissions sample by sample.
+"""
+
+from repro.channel.oscillator import Oscillator, OscillatorConfig
+from repro.channel.models import (
+    ChannelModel,
+    FlatRayleighChannel,
+    MultipathChannel,
+    RicianChannel,
+    LinkChannel,
+)
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.channel.geometry import ConferenceRoom, Placement
+from repro.channel.timevarying import (
+    GaussMarkovFader,
+    JakesFader,
+    TimeVaryingLinkChannel,
+    channel_correlation,
+)
+from repro.channel.medium import Medium, Transmission
+
+__all__ = [
+    "Oscillator",
+    "OscillatorConfig",
+    "ChannelModel",
+    "FlatRayleighChannel",
+    "MultipathChannel",
+    "RicianChannel",
+    "LinkChannel",
+    "LogDistancePathLoss",
+    "ConferenceRoom",
+    "Placement",
+    "Medium",
+    "Transmission",
+    "GaussMarkovFader",
+    "JakesFader",
+    "TimeVaryingLinkChannel",
+    "channel_correlation",
+]

@@ -1,0 +1,130 @@
+"""Conference-room geometry mimicking the paper's testbed (Fig. 5).
+
+APs sit on ledges near the ceiling along the walls; clients are scattered
+through the seating area.  "In every run, the APs and clients are assigned
+randomly to these locations" (§10c) — :meth:`ConferenceRoom.sample_topology`
+reproduces that procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A candidate node location in room coordinates (meters)."""
+
+    x: float
+    y: float
+    z: float = 1.0
+
+    def distance_to(self, other: "Placement") -> float:
+        return float(
+            np.sqrt(
+                (self.x - other.x) ** 2
+                + (self.y - other.y) ** 2
+                + (self.z - other.z) ** 2
+            )
+        )
+
+
+@dataclass
+class Topology:
+    """A sampled experiment topology: chosen AP and client locations."""
+
+    ap_locations: List[Placement]
+    client_locations: List[Placement]
+
+    @property
+    def n_aps(self) -> int:
+        return len(self.ap_locations)
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.client_locations)
+
+    def distances(self) -> np.ndarray:
+        """(n_clients, n_aps) distance matrix in meters."""
+        out = np.empty((self.n_clients, self.n_aps))
+        for i, c in enumerate(self.client_locations):
+            for j, a in enumerate(self.ap_locations):
+                out[i, j] = c.distance_to(a)
+        return out
+
+
+class ConferenceRoom:
+    """A rectangular room with AP ledge positions and client seat positions.
+
+    Defaults approximate the paper's ~12 m x 8 m space with AP candidate
+    spots around the perimeter near the ceiling and a grid of client spots
+    through the seating area.
+    """
+
+    def __init__(
+        self,
+        width_m: float = 12.0,
+        depth_m: float = 8.0,
+        ap_height_m: float = 2.6,
+        client_height_m: float = 1.0,
+        n_ap_spots: int = 14,
+        n_client_spots: int = 24,
+    ):
+        require(width_m > 0 and depth_m > 0, "room dimensions must be positive")
+        self.width_m = width_m
+        self.depth_m = depth_m
+        self.ap_height_m = ap_height_m
+        self.client_height_m = client_height_m
+        self.ap_spots = self._perimeter_spots(n_ap_spots)
+        self.client_spots = self._grid_spots(n_client_spots)
+
+    def _perimeter_spots(self, n: int) -> List[Placement]:
+        """Evenly spaced positions along the walls at ledge height."""
+        perimeter = 2 * (self.width_m + self.depth_m)
+        spots = []
+        for i in range(n):
+            s = (i + 0.5) * perimeter / n
+            if s < self.width_m:
+                x, y = s, 0.0
+            elif s < self.width_m + self.depth_m:
+                x, y = self.width_m, s - self.width_m
+            elif s < 2 * self.width_m + self.depth_m:
+                x, y = 2 * self.width_m + self.depth_m - s, self.depth_m
+            else:
+                x, y = 0.0, perimeter - s
+            spots.append(Placement(x, y, self.ap_height_m))
+        return spots
+
+    def _grid_spots(self, n: int) -> List[Placement]:
+        """A jittered grid of seats inside the room (away from the walls)."""
+        cols = int(np.ceil(np.sqrt(n * self.width_m / self.depth_m)))
+        rows = int(np.ceil(n / cols))
+        margin = 1.0
+        xs = np.linspace(margin, self.width_m - margin, cols)
+        ys = np.linspace(margin, self.depth_m - margin, rows)
+        spots = []
+        for y in ys:
+            for x in xs:
+                if len(spots) < n:
+                    spots.append(Placement(float(x), float(y), self.client_height_m))
+        return spots
+
+    def sample_topology(self, n_aps: int, n_clients: int, rng=None) -> Topology:
+        """Randomly assign APs and clients to candidate spots (paper §10c)."""
+        rng = ensure_rng(rng)
+        require(n_aps <= len(self.ap_spots), "not enough AP candidate locations")
+        require(
+            n_clients <= len(self.client_spots), "not enough client candidate locations"
+        )
+        ap_idx = rng.choice(len(self.ap_spots), size=n_aps, replace=False)
+        cl_idx = rng.choice(len(self.client_spots), size=n_clients, replace=False)
+        return Topology(
+            ap_locations=[self.ap_spots[i] for i in ap_idx],
+            client_locations=[self.client_spots[i] for i in cl_idx],
+        )

@@ -1,0 +1,118 @@
+"""External interference sources for robustness experiments.
+
+The paper's MAC argues MegaMIMO coexists with other traffic (§9: clients
+contend as they do today; hidden terminals are detected and excluded).
+These generators let tests and examples put realistic interferers on the
+medium:
+
+* ``BurstyInterferer`` — duty-cycled wideband noise (microwave-oven /
+  Bluetooth-hop class);
+* ``ToneInterferer`` — a narrowband carrier parked on part of the band
+  (cordless-phone class; only some OFDM subcarriers suffer);
+* ``LegacySender`` — a foreign OFDM transmitter sending ordinary frames
+  on the same channel (co-channel Wi-Fi).
+
+Each exposes ``schedule(medium, node, start, duration)`` which places the
+interfering waveform(s) on the medium; the caller registers the node and
+its links first (an interferer is just another transmitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.medium import Medium
+from repro.utils.rng import complex_normal, ensure_rng
+from repro.utils.validation import require
+
+
+@dataclass
+class BurstyInterferer:
+    """Duty-cycled wideband noise bursts.
+
+    Attributes:
+        burst_s: On-time per burst.
+        period_s: Burst repetition period (duty cycle = burst_s/period_s).
+        power: Per-sample power of the bursts.
+    """
+
+    burst_s: float = 200e-6
+    period_s: float = 1e-3
+    power: float = 1.0
+
+    def schedule(self, medium: Medium, node: str, start: float, duration: float,
+                 rng=None) -> int:
+        """Place bursts over [start, start+duration); returns burst count."""
+        require(0 < self.burst_s <= self.period_s, "burst must fit its period")
+        rng = ensure_rng(rng)
+        fs = medium.sample_rate
+        n_burst = int(round(self.burst_s * fs))
+        count = 0
+        t = start
+        while t < start + duration:
+            samples = complex_normal(rng, n_burst, scale=np.sqrt(self.power))
+            medium.transmit(node, samples, t)
+            t += self.period_s
+            count += 1
+        return count
+
+
+@dataclass
+class ToneInterferer:
+    """A constant narrowband carrier at a normalized frequency.
+
+    Attributes:
+        frequency_norm: Tone frequency as a fraction of the sample rate,
+            in (-0.5, 0.5); e.g. 10/64 parks it on OFDM subcarrier 10.
+        power: Tone power.
+    """
+
+    frequency_norm: float = 10.0 / 64.0
+    power: float = 1.0
+
+    def schedule(self, medium: Medium, node: str, start: float, duration: float,
+                 rng=None) -> int:
+        require(-0.5 < self.frequency_norm < 0.5, "frequency out of band")
+        rng = ensure_rng(rng)
+        fs = medium.sample_rate
+        n = int(round(duration * fs))
+        phase0 = float(rng.uniform(0, 2 * np.pi))
+        tone = np.sqrt(self.power) * np.exp(
+            1j * (2 * np.pi * self.frequency_norm * np.arange(n) + phase0)
+        )
+        medium.transmit(node, tone, start)
+        return 1
+
+
+@dataclass
+class LegacySender:
+    """A foreign OFDM transmitter sending its own frames.
+
+    Attributes:
+        frame_bytes: Payload size of each foreign frame.
+        inter_frame_s: Gap between its frames.
+        mcs_index: Its MCS.
+    """
+
+    frame_bytes: int = 200
+    inter_frame_s: float = 500e-6
+    mcs_index: int = 2
+
+    def schedule(self, medium: Medium, node: str, start: float, duration: float,
+                 rng=None) -> int:
+        from repro.phy.link import PointToPointLink
+        from repro.phy.mcs import get_mcs
+
+        rng = ensure_rng(rng)
+        link = PointToPointLink(medium, mcs=get_mcs(self.mcs_index))
+        count = 0
+        t = start
+        while t < start + duration:
+            payload = bytes(rng.integers(0, 256, self.frame_bytes, dtype=np.uint8))
+            packet = link.send(node, payload, t)
+            t += packet.n_samples / medium.sample_rate + self.inter_frame_s
+            count += 1
+        return count

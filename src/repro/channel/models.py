@@ -1,0 +1,143 @@
+"""Static small-scale fading models and per-link channel realizations.
+
+The paper's experiments all run well inside the channel coherence time
+("several hundreds of milliseconds in typical indoor scenarios", §5), so a
+link's small-scale fading is a static complex response per experiment; the
+time variation that matters — oscillator rotation — lives in
+:mod:`repro.channel.oscillator`.  Supported models:
+
+* flat Rayleigh (single tap, NLOS),
+* Rician-K (single tap with a LOS component),
+* multipath with an exponential power-delay profile (frequency selective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import FFT_SIZE
+from repro.utils.rng import complex_normal, ensure_rng
+from repro.utils.validation import require
+
+
+@dataclass
+class LinkChannel:
+    """One realized link: sampled impulse response plus propagation delay.
+
+    Attributes:
+        taps: Complex impulse response at the channel sample rate.  The taps
+            include large-scale gain (path loss) so that convolving unit-power
+            transmit samples yields the received power.
+        delay_s: Line-of-sight propagation delay in seconds (sub-sample
+            delays are applied by the medium as a fractional delay).
+    """
+
+    taps: np.ndarray
+    delay_s: float = 0.0
+
+    @property
+    def gain(self) -> float:
+        """Total power gain of the link, sum |tap|^2."""
+        return float(np.sum(np.abs(self.taps) ** 2))
+
+    def frequency_response(self, fft_size: int = FFT_SIZE) -> np.ndarray:
+        """Channel frequency response over an OFDM grid (64 bins)."""
+        taps = np.asarray(self.taps, dtype=complex)
+        require(taps.size <= fft_size, "impulse response longer than FFT")
+        padded = np.zeros(fft_size, dtype=complex)
+        padded[: taps.size] = taps
+        return np.fft.fft(padded)
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Convolve transmit samples with the impulse response ("full")."""
+        return np.convolve(np.asarray(samples, dtype=complex), self.taps)
+
+
+class ChannelModel:
+    """Interface: draw a :class:`LinkChannel` with a target average gain."""
+
+    def realize(self, average_gain: float, rng=None) -> LinkChannel:
+        raise NotImplementedError
+
+
+@dataclass
+class FlatRayleighChannel(ChannelModel):
+    """Single-tap Rayleigh fading: h ~ CN(0, average_gain)."""
+
+    def realize(self, average_gain: float, rng=None) -> LinkChannel:
+        rng = ensure_rng(rng)
+        tap = complex_normal(rng, (), scale=np.sqrt(average_gain))
+        return LinkChannel(taps=np.array([tap]))
+
+
+@dataclass
+class RicianChannel(ChannelModel):
+    """Single-tap Rician fading with K-factor (LOS-to-scatter power ratio)."""
+
+    k_factor: float = 5.0
+
+    def realize(self, average_gain: float, rng=None) -> LinkChannel:
+        rng = ensure_rng(rng)
+        k = self.k_factor
+        los_power = average_gain * k / (k + 1.0)
+        nlos_power = average_gain / (k + 1.0)
+        los_phase = rng.uniform(-np.pi, np.pi)
+        tap = np.sqrt(los_power) * np.exp(1j * los_phase) + complex_normal(
+            rng, (), scale=np.sqrt(nlos_power)
+        )
+        return LinkChannel(taps=np.array([tap]))
+
+
+@dataclass
+class MultipathChannel(ChannelModel):
+    """Exponential power-delay-profile multipath channel.
+
+    Attributes:
+        n_taps: Number of sample-spaced taps.  With a 16-sample cyclic
+            prefix, up to 16 taps decode cleanly; indoor channels at 10 MHz
+            rarely exceed ~4 resolvable taps (rms delay spread < 100 ns).
+        decay_per_tap_db: Power decay per tap of the exponential profile.
+        rician_k_first_tap: Optional LOS component on the first tap.
+    """
+
+    n_taps: int = 4
+    decay_per_tap_db: float = 3.0
+    rician_k_first_tap: float = 0.0
+
+    def realize(self, average_gain: float, rng=None) -> LinkChannel:
+        rng = ensure_rng(rng)
+        require(self.n_taps >= 1, "need at least one tap")
+        profile = 10.0 ** (-self.decay_per_tap_db * np.arange(self.n_taps) / 10.0)
+        profile = profile / profile.sum() * average_gain
+        taps = complex_normal(rng, self.n_taps, scale=1.0) * np.sqrt(profile)
+        if self.rician_k_first_tap > 0:
+            k = self.rician_k_first_tap
+            los = np.sqrt(profile[0] * k / (k + 1.0)) * np.exp(
+                1j * rng.uniform(-np.pi, np.pi)
+            )
+            scatter = complex_normal(rng, (), scale=np.sqrt(profile[0] / (k + 1.0)))
+            taps[0] = los + scatter
+        return LinkChannel(taps=taps)
+
+
+def random_channel_matrix(
+    n_rx: int,
+    n_tx: int,
+    rng=None,
+    model: ChannelModel = None,
+    average_gain: float = 1.0,
+) -> np.ndarray:
+    """Draw an (n_rx, n_tx) matrix of i.i.d. single-tap channels.
+
+    Convenience for frequency-flat analyses like the Fig. 6 microbenchmark
+    (100 random channel matrices).
+    """
+    rng = ensure_rng(rng)
+    model = model or FlatRayleighChannel()
+    matrix = np.empty((n_rx, n_tx), dtype=complex)
+    for i in range(n_rx):
+        for j in range(n_tx):
+            matrix[i, j] = model.realize(average_gain, rng=rng).taps[0]
+    return matrix

@@ -1,0 +1,61 @@
+"""Indoor path-loss models.
+
+Log-distance path loss with lognormal shadowing — the standard indoor model
+(Goldsmith, *Wireless Communications* [9]).  The conference-room testbed in
+the paper exhibits "significantly diverse SNRs as well as both line-of-sight
+and non line-of-sight paths" (§10c); the shadowing term reproduces that
+diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import CARRIER_FREQUENCY
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+_SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass
+class LogDistancePathLoss:
+    """Log-distance path loss: PL(d) = PL(d0) + 10 n log10(d/d0) + X_sigma.
+
+    Attributes:
+        exponent: Path-loss exponent ``n`` (~2 free space, 2.5-4 indoors).
+        reference_distance_m: ``d0``, where free-space loss anchors the model.
+        shadowing_sigma_db: Lognormal shadowing standard deviation.
+        carrier_frequency: For the free-space reference loss.
+    """
+
+    exponent: float = 3.0
+    reference_distance_m: float = 1.0
+    shadowing_sigma_db: float = 4.0
+    carrier_frequency: float = CARRIER_FREQUENCY
+
+    def free_space_reference_db(self) -> float:
+        """Free-space path loss at the reference distance."""
+        wavelength = _SPEED_OF_LIGHT / self.carrier_frequency
+        return float(
+            20.0 * np.log10(4.0 * np.pi * self.reference_distance_m / wavelength)
+        )
+
+    def loss_db(self, distance_m, rng=None, include_shadowing: bool = True):
+        """Path loss in dB at the given distance(s)."""
+        distance_m = np.asarray(distance_m, dtype=float)
+        require(bool(np.all(distance_m > 0)), "distance must be positive")
+        d = np.maximum(distance_m, self.reference_distance_m)
+        loss = self.free_space_reference_db() + 10.0 * self.exponent * np.log10(
+            d / self.reference_distance_m
+        )
+        if include_shadowing and self.shadowing_sigma_db > 0:
+            rng = ensure_rng(rng)
+            loss = loss + rng.normal(0.0, self.shadowing_sigma_db, size=loss.shape)
+        return loss
+
+    def propagation_delay_s(self, distance_m) -> np.ndarray:
+        """Line-of-sight propagation delay (tens of ns across a room)."""
+        return np.asarray(distance_m, dtype=float) / _SPEED_OF_LIGHT

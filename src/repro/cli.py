@@ -1,0 +1,205 @@
+"""Command-line interface: reproduce any figure or run simulations.
+
+    python -m repro figure 9
+    python -m repro ablation sync
+    python -m repro simulate --n-aps 4 --duration 0.5
+    python -m repro quickstart
+    python -m repro report
+
+Every command prints the same tables the benchmark suite reports, so the
+CLI is the quickest way to poke at one experiment with custom parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_figure_parser(subparsers) -> None:
+    p = subparsers.add_parser("figure", help="reproduce one evaluation figure (6-13)")
+    p.add_argument("number", type=int, choices=range(6, 14), metavar="6-13")
+    p.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply the default topology/round counts (e.g. 2.0 = paper scale)",
+    )
+
+
+def _add_ablation_parser(subparsers) -> None:
+    p = subparsers.add_parser("ablation", help="run one design-choice ablation")
+    p.add_argument(
+        "name",
+        choices=["sync", "tracking", "sounding", "cfo", "overhead", "screening"],
+    )
+    p.add_argument("--seed", type=int, default=None)
+
+
+def _add_simulate_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "simulate", help="event-driven link-layer simulation over fading channels"
+    )
+    p.add_argument("--n-aps", type=int, default=4)
+    p.add_argument("--n-clients", type=int, default=4)
+    p.add_argument("--duration", type=float, default=0.5, help="seconds")
+    p.add_argument(
+        "--arrival-rate", type=float, default=None,
+        help="Poisson packets/s per client (default: backlogged)",
+    )
+    p.add_argument("--resound-interval", type=float, default=25e-3, help="seconds")
+    p.add_argument("--coherence-time", type=float, default=0.25, help="seconds")
+    p.add_argument("--seed", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MegaMIMO / JMB (SIGCOMM 2012) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_figure_parser(subparsers)
+    _add_ablation_parser(subparsers)
+    _add_simulate_parser(subparsers)
+    subparsers.add_parser("quickstart", help="2 APs jointly serve 2 clients")
+    subparsers.add_parser("report", help="regenerate all EXPERIMENTS.md tables")
+    return parser
+
+
+def _run_figure(args) -> int:
+    from repro.sim import experiments as E
+
+    scale = max(args.scale, 0.1)
+    n = args.number
+    seed = args.seed
+
+    def kw(default_seed, **extra):
+        out = dict(extra)
+        out["seed"] = seed if seed is not None else default_seed
+        return out
+
+    if n == 6:
+        result = E.run_fig6(**kw(1, n_channels=max(int(100 * scale), 10)))
+    elif n == 7:
+        result = E.run_fig7(
+            **kw(2, n_systems=max(int(8 * scale), 2), n_rounds=max(int(25 * scale), 5))
+        )
+    elif n == 8:
+        result = E.run_fig8(**kw(3, n_topologies=max(int(10 * scale), 2)))
+    elif n == 9:
+        result = E.run_fig9(**kw(4, n_topologies=max(int(10 * scale), 2)))
+    elif n == 10:
+        result = E.run_fig10(n_topologies=max(int(10 * scale), 2),
+                             **kw(4))
+    elif n == 11:
+        result = E.run_fig11(**kw(5, n_draws=max(int(20 * scale), 4)))
+    elif n == 12:
+        result = E.run_fig12(**kw(6, n_topologies=max(int(20 * scale), 4)))
+    else:
+        result = E.run_fig13(n_topologies=max(int(20 * scale), 4), **kw(6))
+    print(f"=== Figure {n} ===")
+    print(result.format_table())
+    return 0
+
+
+def _run_ablation(args) -> int:
+    from repro.sim import ablations as A
+    from repro.sim.overhead import run_overhead_experiment
+
+    seed = args.seed
+    runners = {
+        "sync": lambda: A.run_sync_strategy_ablation(
+            seed=seed if seed is not None else 7
+        ),
+        "tracking": lambda: A.run_tracking_ablation(
+            seed=seed if seed is not None else 8
+        ),
+        "sounding": lambda: A.run_sounding_ablation(
+            seed=seed if seed is not None else 9
+        ),
+        "cfo": lambda: A.run_cfo_averaging_ablation(
+            seed=seed if seed is not None else 10
+        ),
+        "overhead": lambda: run_overhead_experiment(
+            seed=seed if seed is not None else 11
+        ),
+        "screening": lambda: A.run_screening_ablation(
+            seed=seed if seed is not None else 14
+        ),
+    }
+    result = runners[args.name]()
+    print(f"=== Ablation: {args.name} ===")
+    print(result.format_table())
+    return 0
+
+
+def _run_simulate(args) -> int:
+    from repro.mac.simulator import DownlinkSimulator, LinkLayerConfig
+
+    config = LinkLayerConfig(
+        n_aps=args.n_aps,
+        n_clients=args.n_clients,
+        duration_s=args.duration,
+        arrival_rate_pps=args.arrival_rate,
+        resound_interval_s=args.resound_interval,
+        coherence_time_s=args.coherence_time,
+        seed=args.seed,
+    )
+    trace = DownlinkSimulator(config).run()
+    print(trace.format_summary())
+    return 0
+
+
+def _run_quickstart() -> int:
+    from repro import MegaMimoSystem, SystemConfig, get_mcs
+    from repro.channel.models import RicianChannel
+
+    system = MegaMimoSystem.create(
+        SystemConfig(n_aps=2, n_clients=2, seed=7),
+        client_snr_db=25.0,
+        channel_model=RicianChannel(k_factor=8.0),
+    )
+    system.run_sounding(0.0)
+    payloads = [b"packet for client zero", b"packet for client one!"]
+    report = system.joint_transmit(payloads, get_mcs(2), start_time=1e-3)
+    for i, r in enumerate(report.receptions):
+        status = "ok" if r.decoded.crc_ok else "FAILED"
+        print(
+            f"client{i}: {status}, SNR {r.effective_snr_db:.1f} dB, "
+            f"payload={r.decoded.payload!r}"
+        )
+    return 0 if all(r.decoded.crc_ok for r in report.receptions) else 1
+
+
+def _run_report() -> int:
+    import runpy
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "scripts" / "generate_experiments_report.py"
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    print("report script not found; run scripts/generate_experiments_report.py", file=sys.stderr)
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "figure":
+        return _run_figure(args)
+    if args.command == "ablation":
+        return _run_ablation(args)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "quickstart":
+        return _run_quickstart()
+    if args.command == "report":
+        return _run_report()
+    return 2  # unreachable: argparse enforces the choices
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""802.11-style numerology, MCS tables and simulation defaults.
+
+The USRP testbed in the paper runs a 10 MHz channel in the 2.4 GHz band
+(USRP2 + RFX2400); the 802.11n testbed runs a 20 MHz channel.  Both use the
+classic 64-point OFDM numerology of 802.11a/g: 48 data subcarriers, 4 pilot
+subcarriers and a 16-sample cyclic prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# OFDM numerology (802.11a/g 64-point grid)
+# ---------------------------------------------------------------------------
+
+FFT_SIZE = 64
+CP_LENGTH = 16
+SYMBOL_LENGTH = FFT_SIZE + CP_LENGTH  # samples per OFDM symbol
+
+#: Data subcarrier indices in FFT order (DC at 0), i.e. -26..-1, 1..26 minus
+#: the pilot positions.  Matches IEEE 802.11-2012 Table 18-7.
+PILOT_SUBCARRIERS = np.array([-21, -7, 7, 21])
+_occupied = [k for k in range(-26, 27) if k != 0]
+DATA_SUBCARRIERS = np.array(
+    [k for k in _occupied if k not in set(PILOT_SUBCARRIERS.tolist())]
+)
+N_DATA_SUBCARRIERS = len(DATA_SUBCARRIERS)  # 48
+N_PILOT_SUBCARRIERS = len(PILOT_SUBCARRIERS)  # 4
+OCCUPIED_SUBCARRIERS = np.array(_occupied)
+
+#: Pilot BPSK values for subcarriers (-21, -7, 7, 21), per 802.11.
+PILOT_VALUES = np.array([1.0, 1.0, 1.0, -1.0])
+
+#: Pilot polarity scrambling sequence p_{0..126} (802.11-2012 Eq. 18-25).
+PILOT_POLARITY = np.array([
+    1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1,
+    -1, -1, 1, 1, -1, 1, 1, -1, 1, 1, 1, 1, 1, 1, -1, 1,
+    1, 1, -1, 1, 1, -1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1,
+    -1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
+    -1, -1, 1, -1, 1, -1, 1, 1, -1, -1, -1, 1, 1, -1, -1, -1,
+    -1, 1, -1, -1, 1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, 1,
+    -1, -1, -1, -1, -1, 1, -1, 1, 1, -1, 1, -1, 1, 1, 1, -1,
+    -1, 1, -1, -1, -1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1,
+], dtype=float)
+
+# ---------------------------------------------------------------------------
+# Sample rates / band
+# ---------------------------------------------------------------------------
+
+#: USRP software-radio testbed: 10 MHz channel (paper §10a).
+SAMPLE_RATE_USRP = 10e6
+#: 802.11n testbed: 20 MHz channel (paper §10b).
+SAMPLE_RATE_80211 = 20e6
+#: Carrier frequency, 2.4 GHz ISM band.
+CARRIER_FREQUENCY = 2.412e9
+
+#: 802.11 mandates oscillators within +-20 ppm of nominal (paper §1).
+MAX_PPM_80211 = 20.0
+
+#: Thermal noise floor for a 10 MHz channel at a typical 6 dB noise figure.
+NOISE_FLOOR_DBM_10MHZ = -174 + 10 * np.log10(10e6) + 6  # ~ -98 dBm
+
+# ---------------------------------------------------------------------------
+# Convolutional code (K=7, industry standard g0=133, g1=171 octal)
+# ---------------------------------------------------------------------------
+
+CONV_K = 7
+CONV_G0 = 0o133
+CONV_G1 = 0o171
+
+# ---------------------------------------------------------------------------
+# MCS table
+# ---------------------------------------------------------------------------
+
+#: (name, bits per subcarrier symbol, coding rate) in 802.11a order.  The
+#: PHY bitrate at 20 MHz is  48 * bits * rate / 4e-6  (6..54 Mbps); at
+#: 10 MHz the symbol time doubles so the rates halve (3..27 Mbps).
+MCS_TABLE = (
+    ("BPSK-1/2", 1, (1, 2)),
+    ("BPSK-3/4", 1, (3, 4)),
+    ("QPSK-1/2", 2, (1, 2)),
+    ("QPSK-3/4", 2, (3, 4)),
+    ("16QAM-1/2", 4, (1, 2)),
+    ("16QAM-3/4", 4, (3, 4)),
+    ("64QAM-2/3", 6, (2, 3)),
+    ("64QAM-3/4", 6, (3, 4)),
+)
+
+#: Minimum effective SNR (dB) to sustain each MCS with low packet loss.
+#: Calibrated following Halperin et al. [13] ("Predictable 802.11 packet
+#: delivery from wireless channel measurements").
+MCS_MIN_SNR_DB = (3.0, 5.0, 7.0, 9.0, 12.0, 15.0, 20.0, 23.0)
+
+#: Fraction of airtime carrying data symbols once preamble/SIFS/turnaround
+#: overheads are accounted for (1500-byte packets, paper §10c).
+MAC_EFFICIENCY = 0.875
+
+#: Paper-reported operational SNR range for 802.11 (§1, §11).
+OPERATIONAL_SNR_RANGE_DB = (5.0, 25.0)
+
+#: Effective-SNR bands used throughout the paper's evaluation (§11.1c).
+SNR_BANDS_DB = {
+    "low": (6.0, 12.0),
+    "medium": (12.0, 18.0),
+    "high": (18.0, 28.0),
+}
+
+#: Default packet payload used in all experiments (paper §10c).
+PACKET_SIZE_BYTES = 1500
+
+#: Indoor channel coherence time, several hundred ms (paper §5, [9]).
+COHERENCE_TIME_S = 0.25
+
+#: Slave turnaround delay after the lead trigger in the USRP implementation
+#: (paper §10a: "We select t_delta as 150 us").
+TRIGGER_TURNAROUND_S = 150e-6

@@ -1,0 +1,48 @@
+"""MegaMIMO's core: joint multi-user beamforming from distributed APs.
+
+This package implements the paper's contribution proper:
+
+* zero-forcing multi-user beamforming with the paper's per-AP power
+  normalization, plus the diversity (coherent-combining) mode of §8;
+* the distributed phase-synchronization protocol of §4-§5 — lead election,
+  reference-channel capture, per-packet direct phase measurement from the
+  sync header, and long-term-averaged CFO extrapolation within a packet;
+* the interleaved channel-measurement (sounding) protocol of §5.1;
+* an end-to-end sample-level system (`MegaMimoSystem`) that runs sounding
+  and joint data transmission over the simulated medium;
+* the 802.11n-compatibility sounding trick of §6; and
+* decoupled per-receiver measurements of §7 and the appendix.
+"""
+
+from repro.core.beamforming import (
+    zero_forcing_precoder,
+    diversity_precoder,
+    effective_channel,
+    sinr_after_beamforming,
+    snr_reduction_from_misalignment,
+)
+from repro.core.phasesync import PhaseSynchronizer, ReferenceChannel, SyncObservation
+from repro.core.sounding import SoundingPlan, SoundingResult, interleaved_sounding_frame
+from repro.core.system import MegaMimoSystem, SystemConfig, JointTransmissionReport
+from repro.core.compat80211n import Compat80211nSounder, StitchedChannelEstimate
+from repro.core.decoupled import DecoupledChannelBook
+
+__all__ = [
+    "zero_forcing_precoder",
+    "diversity_precoder",
+    "effective_channel",
+    "sinr_after_beamforming",
+    "snr_reduction_from_misalignment",
+    "PhaseSynchronizer",
+    "ReferenceChannel",
+    "SyncObservation",
+    "SoundingPlan",
+    "SoundingResult",
+    "interleaved_sounding_frame",
+    "MegaMimoSystem",
+    "SystemConfig",
+    "JointTransmissionReport",
+    "Compat80211nSounder",
+    "StitchedChannelEstimate",
+    "DecoupledChannelBook",
+]

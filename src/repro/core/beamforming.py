@@ -1,0 +1,228 @@
+"""Multi-user beamforming: zero-forcing precoding and coherent diversity.
+
+Implements the paper's §4 math.  With channel matrix H (clients x antennas)
+the APs transmit ``W x`` where ``W = k H^{-1}``; the scalar ``k`` enforces
+the per-antenna power constraint (§9: "APs multiply the signals by kH^-1 (k
+accounts for the maximum power constraint at APs)"), so each client sees the
+diagonal effective channel ``k I`` and a signal strength of ``k^2``.
+
+Also provides the analysis used by the Fig. 6 microbenchmark: the SNR
+reduction caused by a phase misalignment at one (or more) transmitters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.units import linear_to_db
+from repro.utils.validation import require
+
+
+def zero_forcing_precoder(channel: np.ndarray, max_power_per_antenna: float = 1.0):
+    """Zero-forcing precoder with the paper's power normalization.
+
+    Args:
+        channel: (n_clients, n_antennas) channel matrix H; square in the
+            paper's setting (as many streams as total AP antennas), but a
+            wide matrix (more antennas than clients) is accepted and handled
+            with the right pseudo-inverse.
+        max_power_per_antenna: Per-antenna average power limit.
+
+    Returns:
+        (precoder, k): ``precoder`` is (n_antennas, n_clients) so the antenna
+        signal vector is ``precoder @ x``; ``k`` is the effective diagonal
+        gain each client sees.
+
+    Raises:
+        np.linalg.LinAlgError: If the channel matrix is singular.
+    """
+    channel = np.asarray(channel, dtype=complex)
+    require(channel.ndim == 2, "channel must be a matrix")
+    n_clients, n_antennas = channel.shape
+    require(
+        n_antennas >= n_clients,
+        f"need at least as many antennas ({n_antennas}) as clients ({n_clients})",
+    )
+    if n_antennas == n_clients:
+        inverse = np.linalg.inv(channel)
+    else:
+        inverse = np.linalg.pinv(channel)
+        _check_right_inverse(channel, inverse)
+    # per-antenna transmit power for unit-power streams: row norms squared
+    row_power = np.sum(np.abs(inverse) ** 2, axis=1)
+    worst = float(np.max(row_power))
+    require(worst > 0, "degenerate channel")
+    k = float(np.sqrt(max_power_per_antenna / worst))
+    return k * inverse, k
+
+
+def _check_right_inverse(channel: np.ndarray, inverse: np.ndarray) -> None:
+    """Reject precoders that do not actually diagonalize the channel.
+
+    ``np.linalg.pinv`` "succeeds" on rank-deficient wide matrices (e.g. two
+    collinear clients) but the result is a least-squares fit, not a right
+    inverse — beamforming with it would silently mix the streams.
+    """
+    residual = channel @ inverse - np.eye(channel.shape[0])
+    if np.max(np.abs(residual)) > 1e-6:
+        raise np.linalg.LinAlgError(
+            "channel matrix is (numerically) rank deficient; streams cannot "
+            "be separated by zero-forcing"
+        )
+
+
+def zero_forcing_precoder_wideband(
+    channels: np.ndarray, max_power_per_antenna: float = 1.0
+):
+    """Per-subcarrier ZF precoders sharing one frame-wide power scalar k.
+
+    The per-AP power constraint is physical: it caps each AP's *average*
+    transmit power over the OFDM frame, i.e. across subcarriers — not per
+    subcarrier.  Normalizing with a single k chosen so the worst AP's
+    average power hits the limit lets well-conditioned subcarriers make up
+    for deeply-faded ones, which is what a real wideband transmitter does
+    (and §9's "k accounts for the maximum power constraint at APs" — one k,
+    known "in each subcarrier", giving signal strength k^2 everywhere).
+
+    Args:
+        channels: (n_bins, n_clients, n_antennas) channel tensor.
+
+    Returns:
+        (precoders, k): precoders is (n_bins, n_antennas, n_clients); the
+        effective channel on every bin is ``k I``.
+
+    Raises:
+        np.linalg.LinAlgError: If any subcarrier's matrix is singular.
+    """
+    channels = np.asarray(channels, dtype=complex)
+    require(channels.ndim == 3, "need (n_bins, n_clients, n_antennas)")
+    n_bins, n_clients, n_antennas = channels.shape
+    require(n_antennas >= n_clients, "need at least as many antennas as clients")
+    inverses = np.empty((n_bins, n_antennas, n_clients), dtype=complex)
+    for b in range(n_bins):
+        if n_antennas == n_clients:
+            inverses[b] = np.linalg.inv(channels[b])
+        else:
+            inverses[b] = np.linalg.pinv(channels[b])
+            _check_right_inverse(channels[b], inverses[b])
+    # per-antenna power averaged over subcarriers, for unit-power streams
+    per_antenna = np.mean(np.sum(np.abs(inverses) ** 2, axis=2), axis=0)
+    worst = float(np.max(per_antenna))
+    require(worst > 0, "degenerate channel")
+    k = float(np.sqrt(max_power_per_antenna / worst))
+    return k * inverses, k
+
+
+def diversity_precoder(channel_row: np.ndarray, max_power_per_antenna: float = 1.0) -> np.ndarray:
+    """Coherent-diversity beamforming weights for a single client (§8).
+
+    Each AP i transmits ``h_i^* / |h_i| * x`` — full per-AP power with the
+    conjugate phase, so all signals add coherently at the client.
+
+    Args:
+        channel_row: (n_antennas,) channel from each AP antenna to the client.
+
+    Returns:
+        (n_antennas,) weight vector.
+    """
+    channel_row = np.asarray(channel_row, dtype=complex).ravel()
+    magnitude = np.abs(channel_row)
+    weights = np.zeros_like(channel_row)
+    nonzero = magnitude > 1e-15
+    weights[nonzero] = np.conj(channel_row[nonzero]) / magnitude[nonzero]
+    return weights * np.sqrt(max_power_per_antenna)
+
+
+def effective_channel(
+    channel: np.ndarray,
+    precoder: np.ndarray,
+    phase_errors: np.ndarray = None,
+) -> np.ndarray:
+    """The channel clients actually experience: ``H diag(e^{j err}) W``.
+
+    Args:
+        channel: (n_clients, n_antennas) true channel at transmission time.
+        precoder: (n_antennas, n_clients) beamforming matrix.
+        phase_errors: Per-antenna phase misalignment in radians (0 = perfect
+            sync).  This models slave APs whose phase correction is off.
+    """
+    channel = np.asarray(channel, dtype=complex)
+    precoder = np.asarray(precoder, dtype=complex)
+    if phase_errors is None:
+        return channel @ precoder
+    phase_errors = np.asarray(phase_errors, dtype=float).ravel()
+    require(
+        phase_errors.size == channel.shape[1],
+        "need one phase error per transmit antenna",
+    )
+    rotation = np.exp(1j * phase_errors)
+    return (channel * rotation[None, :]) @ precoder
+
+
+def sinr_after_beamforming(
+    channel: np.ndarray,
+    precoder: np.ndarray,
+    noise_power: float,
+    phase_errors: np.ndarray = None,
+) -> np.ndarray:
+    """Per-client SINR given (possibly misaligned) joint beamforming.
+
+    The diagonal of the effective channel carries each client's signal; the
+    off-diagonal leakage caused by misalignment is interference.
+    """
+    require(noise_power > 0, "noise power must be positive")
+    eff = effective_channel(channel, precoder, phase_errors)
+    signal = np.abs(np.diag(eff)) ** 2
+    interference = np.sum(np.abs(eff) ** 2, axis=1) - signal
+    return signal / (interference + noise_power)
+
+
+def snr_reduction_from_misalignment(
+    channel: np.ndarray,
+    misalignment_rad: float,
+    snr_db: float,
+    misaligned_antenna: int = -1,
+) -> np.ndarray:
+    """Fig. 6 analysis: per-client SNR loss (dB) from one slave's phase error.
+
+    Computes ZF SINR with and without a phase error of ``misalignment_rad``
+    at one antenna, with noise set so the aligned system runs at ``snr_db``.
+
+    Returns:
+        Per-client SNR reduction in dB (positive = loss).
+    """
+    channel = np.asarray(channel, dtype=complex)
+    precoder, k = zero_forcing_precoder(channel)
+    noise_power = k**2 / 10.0 ** (snr_db / 10.0)
+    aligned = sinr_after_beamforming(channel, precoder, noise_power)
+    errors = np.zeros(channel.shape[1])
+    errors[misaligned_antenna] = misalignment_rad
+    misaligned = sinr_after_beamforming(channel, precoder, noise_power, errors)
+    return linear_to_db(aligned) - linear_to_db(misaligned)
+
+
+def interference_to_noise_ratio(
+    channel: np.ndarray,
+    precoder: np.ndarray,
+    noise_power: float,
+    phase_errors: np.ndarray,
+    nulled_client: int,
+) -> float:
+    """INR at a client where all streams are nulled (Fig. 8 methodology).
+
+    "we choose a client at which all APs null their interference ... and
+    measure the received signal power at that client" — the precoder carries
+    no stream for ``nulled_client``, so anything it receives beyond noise is
+    misalignment leakage.
+    """
+    channel = np.asarray(channel, dtype=complex)
+    precoder = np.asarray(precoder, dtype=complex)
+    phase_errors = np.asarray(phase_errors, dtype=float)
+    rotation = np.exp(1j * phase_errors)
+    row = channel[nulled_client] * rotation
+    received = row @ precoder
+    # no stream is transmitted for the nulled client, so only the other
+    # clients' streams can leak power into it
+    others = np.ones(received.size, dtype=bool)
+    others[nulled_client] = False
+    return float(np.sum(np.abs(received[others]) ** 2) / noise_power)

@@ -1,0 +1,239 @@
+"""802.11n compatibility: channel measurement with off-the-shelf clients (§6).
+
+An 802.11n client with K antennas can sound at most K transmit streams per
+packet, so it can never take a one-shot snapshot of the channels from *all*
+AP antennas.  MegaMIMO "tricks" the client (§6.2): every sounding packet is
+a two-stream transmission that always includes the lead AP's **reference
+antenna** L1 plus one other antenna.  Because L1 appears in every packet,
+the phase drift between any two packets can be measured twice —
+
+* lead <-> client, from the two L1 -> R estimates, and
+* lead <-> slave, from the slave's own L1 -> S measurements (it hears the
+  legacy preamble of every packet, which doubles as the sync header, §6.1)
+
+— and their difference is exactly the slave <-> client drift needed to
+rotate the slave antenna's estimate back to the reference packet's time t0:
+
+    offset(S, R) = offset(L1, R) - offset(L1, S)        over [t0, t]
+    h_{S->R}(t0) = h_{S->R}(t) * exp(-j * offset(S, R))
+
+Repeating for every non-reference antenna stitches together a full channel
+snapshot "as if" measured simultaneously at t0, with no receiver CFO
+estimate required anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.narrowband import NarrowbandNetwork
+from repro.utils.units import wrap_phase
+from repro.utils.validation import require
+
+
+@dataclass
+class StitchedChannelEstimate:
+    """A full channel snapshot assembled from sequential 2-stream soundings.
+
+    Attributes:
+        channel: (n_rx_antennas, n_tx_antennas) estimate referred to time t0.
+        reference_time: t0, the time of the first sounding packet.
+        tx_antennas: Column labels.
+        rx_antennas: Row labels.
+    """
+
+    channel: np.ndarray
+    reference_time: float
+    tx_antennas: List[str]
+    rx_antennas: List[str]
+
+    def column(self, tx_antenna: str) -> np.ndarray:
+        return self.channel[:, self.tx_antennas.index(tx_antenna)]
+
+
+class Compat80211nSounder:
+    """Runs the §6.2 measurement schedule on a narrowband network.
+
+    Args:
+        network: The simulated antennas/oscillators/channels.
+        reference_antenna: The lead antenna included in every packet (L1).
+        client_snr_db: CSI estimation SNR at the client (None = noiseless).
+        ap_snr_db: Estimation SNR of slave APs measuring the lead preamble.
+    """
+
+    def __init__(
+        self,
+        network: NarrowbandNetwork,
+        reference_antenna: str,
+        client_snr_db: Optional[float] = 25.0,
+        ap_snr_db: Optional[float] = 30.0,
+    ):
+        self.network = network
+        self.reference_antenna = reference_antenna
+        self.lead_device = network.device_of(reference_antenna)
+        self.client_snr_db = client_snr_db
+        self.ap_snr_db = ap_snr_db
+
+    def _slave_listen_antenna(self, device: str) -> str:
+        """The antenna a slave device uses to observe the lead preamble."""
+        antennas = sorted(
+            a for a, d in self.network._antenna_device.items() if d == device
+        )
+        require(antennas, f"device {device!r} has no antennas")
+        return antennas[0]
+
+    def measure(
+        self,
+        tx_antennas: Sequence[str],
+        rx_antennas: Sequence[str],
+        start_time: float = 0.0,
+        packet_spacing_s: float = 2e-3,
+    ) -> StitchedChannelEstimate:
+        """Measure the full (rx, tx) channel matrix referred to ``start_time``.
+
+        Packet k pairs the reference antenna with the k-th non-reference
+        antenna at time ``start_time + k * packet_spacing_s``.  Every slave
+        device listens to the legacy preamble of every packet, so each
+        slave's drift baseline is its *own* observation at t0 (§6.1).
+        """
+        tx_antennas = list(tx_antennas)
+        rx_antennas = list(rx_antennas)
+        require(
+            self.reference_antenna in tx_antennas,
+            "reference antenna must be part of the measured set",
+        )
+        others = [a for a in tx_antennas if a != self.reference_antenna]
+        require(others, "need at least one non-reference antenna")
+
+        slave_devices = sorted(
+            {
+                self.network.device_of(a)
+                for a in others
+                if self.network.device_of(a) != self.lead_device
+            }
+        )
+        times = [start_time + k * packet_spacing_s for k in range(len(others))]
+        t0 = times[0]
+
+        # every slave observes the lead preamble at every packet time
+        lead_obs: Dict[Tuple[str, float], complex] = {}
+        for device in slave_devices:
+            listen = self._slave_listen_antenna(device)
+            for t in times:
+                lead_obs[(device, t)] = self.network.observe(
+                    self.reference_antenna, listen, t, self.ap_snr_db
+                )
+
+        # client-side 2-stream soundings
+        logs = []
+        for antenna, t in zip(others, times):
+            lead_to_client = {
+                rx: self.network.observe(
+                    self.reference_antenna, rx, t, self.client_snr_db
+                )
+                for rx in rx_antennas
+            }
+            paired_to_client = {
+                rx: self.network.observe(antenna, rx, t, self.client_snr_db)
+                for rx in rx_antennas
+            }
+            logs.append((antenna, t, lead_to_client, paired_to_client))
+
+        n_rx, n_tx = len(rx_antennas), len(tx_antennas)
+        channel = np.zeros((n_rx, n_tx), dtype=complex)
+        ref_col = tx_antennas.index(self.reference_antenna)
+        _, _, first_lead_to_client, first_paired = logs[0]
+        for ri, rx in enumerate(rx_antennas):
+            channel[ri, ref_col] = first_lead_to_client[rx]
+        first_col = tx_antennas.index(logs[0][0])
+        for ri, rx in enumerate(rx_antennas):
+            channel[ri, first_col] = first_paired[rx]
+
+        # later packets: rotate each estimate back to t0 (§6.2)
+        for antenna, t, lead_to_client, paired_to_client in logs[1:]:
+            col = tx_antennas.index(antenna)
+            device = self.network.device_of(antenna)
+            for ri, rx in enumerate(rx_antennas):
+                # accumulated lead<->client offset over [t0, t]
+                lr = np.angle(lead_to_client[rx] * np.conj(first_lead_to_client[rx]))
+                if device == self.lead_device:
+                    # lead-device antennas share the lead oscillator, so
+                    # their drift relative to the client IS the L1<->R drift
+                    offset = lr
+                else:
+                    # accumulated lead<->slave offset over [t0, t]
+                    ls = np.angle(
+                        lead_obs[(device, t)] * np.conj(lead_obs[(device, t0)])
+                    )
+                    offset = lr - ls
+                channel[ri, col] = paired_to_client[rx] * np.exp(-1j * offset)
+
+        return StitchedChannelEstimate(
+            channel=channel,
+            reference_time=t0,
+            tx_antennas=tx_antennas,
+            rx_antennas=rx_antennas,
+        )
+
+    def naive_measure(
+        self,
+        tx_antennas: Sequence[str],
+        rx_antennas: Sequence[str],
+        start_time: float = 0.0,
+        packet_spacing_s: float = 2e-3,
+    ) -> StitchedChannelEstimate:
+        """The strawman of §6.2: separate packets, no reference stitching.
+
+        Each antenna's channel is taken from its own packet verbatim, so
+        oscillator drift between packets corrupts the snapshot.  Kept for
+        the ablation benchmark.
+        """
+        tx_antennas = list(tx_antennas)
+        rx_antennas = list(rx_antennas)
+        times = [start_time + k * packet_spacing_s for k in range(len(tx_antennas))]
+        channel = np.zeros((len(rx_antennas), len(tx_antennas)), dtype=complex)
+        for ci, (antenna, t) in enumerate(zip(tx_antennas, times)):
+            for ri, rx in enumerate(rx_antennas):
+                channel[ri, ci] = self.network.observe(
+                    antenna, rx, t, self.client_snr_db
+                )
+        return StitchedChannelEstimate(
+            channel=channel,
+            reference_time=times[0],
+            tx_antennas=tx_antennas,
+            rx_antennas=rx_antennas,
+        )
+
+    def true_snapshot(
+        self, tx_antennas: Sequence[str], rx_antennas: Sequence[str], t: float
+    ) -> np.ndarray:
+        """Genie channel matrix at time ``t`` (for validation)."""
+        tx_antennas = list(tx_antennas)
+        rx_antennas = list(rx_antennas)
+        out = np.empty((len(rx_antennas), len(tx_antennas)), dtype=complex)
+        for ri, rx in enumerate(rx_antennas):
+            for ci, tx in enumerate(tx_antennas):
+                out[ri, ci] = self.network.true_channel(tx, rx, t)
+        return out
+
+
+def stitching_phase_error(
+    estimate: StitchedChannelEstimate, truth: np.ndarray
+) -> np.ndarray:
+    """Per-entry phase error (radians) of a stitched estimate vs. genie truth.
+
+    Removes the common per-row rotation a receiver can never observe (its
+    own oscillator phase), since beamforming only needs relative phases
+    across transmit antennas.
+    """
+    est = estimate.channel
+    require(est.shape == truth.shape, "shape mismatch")
+    errors = np.empty(est.shape)
+    for ri in range(est.shape[0]):
+        rel_est = est[ri] * np.conj(est[ri, 0] / abs(est[ri, 0]))
+        rel_true = truth[ri] * np.conj(truth[ri, 0] / abs(truth[ri, 0]))
+        errors[ri] = np.abs(wrap_phase(np.angle(rel_est) - np.angle(rel_true)))
+    return errors

@@ -1,0 +1,257 @@
+"""Sample-level §6 sounding: stitched 2-stream packets for stock clients.
+
+The interleaved sounding of §5.1 needs a custom packet format that
+off-the-shelf 802.11n cards cannot receive.  §6.2's alternative works with
+stock cards: every sounding is an ordinary 2-stream packet pairing the
+lead's **reference antenna** with one other antenna; inter-packet
+oscillator drift is cancelled by ratios of repeated reference-antenna
+measurements (client side) and of the lead preamble (slave side).
+
+``SampleLevelCompatSounder`` runs that schedule on a real
+:class:`~repro.core.system.MegaMimoSystem` medium — legacy sync header
+from the reference antenna (§6.1: the mixed-mode legacy symbols double as
+the sync header), then a 2-stream HT-LTF — and installs the stitched
+snapshot into the system so ``joint_transmit`` works exactly as after
+§5.1 sounding.  The narrowband model in :mod:`repro.core.compat80211n`
+proves the math; this module proves the waveforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.sounding import REFERENCE_OFFSET
+from repro.core.system import MegaMimoSystem
+from repro.phy.channel_est import channel_rotation
+from repro.phy.htltf import HTLTF_LENGTH, estimate_two_streams, htltf_waveforms
+from repro.phy.preamble import lts_grid, sync_header, sync_header_length
+from repro.utils.validation import require
+
+
+@dataclass
+class CompatSoundingReport:
+    """Bookkeeping from one §6 sounding run.
+
+    Attributes:
+        reference_time: The packet-0 phase epoch all estimates refer to.
+        packet_times: Header start time per sounding packet.
+        n_packets: One per non-reference antenna.
+    """
+
+    reference_time: float
+    packet_times: List[float]
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.packet_times)
+
+
+class SampleLevelCompatSounder:
+    """Run the §6.2 measurement schedule on a sample-level system."""
+
+    def __init__(self, system: MegaMimoSystem):
+        require(
+            len(system.antenna_ids) >= 2,
+            "need at least the reference antenna plus one more",
+        )
+        self.system = system
+        self.reference_antenna = system.lead_antenna
+
+    def measure(
+        self,
+        start_time: float = 0.0,
+        packet_spacing_s: float = 2e-3,
+        warmup_headers: int = 2,
+    ) -> CompatSoundingReport:
+        """Sound every antenna via 2-stream packets; install the snapshot.
+
+        After this returns, ``system._channel_tensor``, the slaves'
+        reference channels and the CFO trackers are set up exactly as
+        ``run_sounding`` would have left them, so joint transmissions can
+        follow immediately.
+
+        Args:
+            warmup_headers: Plain legacy frames the lead sends after the
+                measurement packets.  The §5.1 interleaved frame hands
+                slaves a long CFO baseline for free; the stock-format path
+                has only one 2-stream packet per antenna, so a couple of
+                ordinary lead transmissions let the slaves' long-term CFO
+                averages converge before the first joint data packet
+                (§5.2b's "across multiple transmissions").
+        """
+        system = self.system
+        medium = system.medium
+        fs = system.config.sample_rate
+        header = sync_header()
+        header_len = sync_header_length()
+        ltf = htltf_waveforms()
+        others = [a for a in system.antenna_ids if a != self.reference_antenna]
+        rx_nodes = system.client_antenna_ids
+
+        n_rows = len(rx_nodes)
+        n_cols = len(system.antenna_ids)
+        ref_col = system.antenna_ids.index(self.reference_antenna)
+
+        medium.clear()
+        packet_times: List[float] = []
+        # per packet: client-side estimates of (L1, partner); slave-side
+        # rotations of the lead channel vs. packet 0
+        lead_est: List[Dict[str, np.ndarray]] = []
+        partner_est: List[Dict[str, np.ndarray]] = []
+        slave_rotation: List[Dict[str, complex]] = []
+
+        t0_ref = None
+        for k, partner in enumerate(others):
+            t = round((start_time + k * packet_spacing_s) * fs) / fs
+            packet_times.append(t)
+            # legacy preamble (sync header) from the reference antenna, then
+            # the 2-stream HT-LTF from (reference, partner)
+            medium.transmit(self.reference_antenna, header, t)
+            ltf_start = t + header_len / fs
+            medium.transmit(self.reference_antenna, ltf[0], ltf_start)
+            medium.transmit(partner, ltf[1], ltf_start)
+
+            header_time = t + REFERENCE_OFFSET / fs
+            if k == 0:
+                t0_ref = header_time
+
+            # every slave device logs the lead preamble (§6.1)
+            rotations: Dict[str, complex] = {}
+            for ap in system.ap_ids[1:]:
+                listen = system.listen_antenna[ap]
+                rx = medium.receive(listen, t, header_len)
+                sync = system.synchronizers[ap]
+                if k == 0:
+                    sync.set_reference(rx, header_time)
+                    rotations[ap] = 1.0 + 0j
+                else:
+                    obs = sync.observe_header(rx, header_time)
+                    rotations[ap] = obs.rotation
+            slave_rotation.append(rotations)
+
+            # each client antenna measures both streams
+            le: Dict[str, np.ndarray] = {}
+            pe: Dict[str, np.ndarray] = {}
+            ltf_off = header_len
+            for rx_node in rx_nodes:
+                capture = medium.receive(rx_node, t, header_len + HTLTF_LENGTH)
+                h_ref, h_partner = estimate_two_streams(capture[ltf_off:])
+                le[rx_node] = h_ref
+                pe[rx_node] = h_partner
+            lead_est.append(le)
+            partner_est.append(pe)
+            medium.clear()
+
+        # ---- stitch (§6.2) -------------------------------------------------
+        tensor = np.zeros((64, n_rows, n_cols), dtype=complex)
+        for ri, rx_node in enumerate(rx_nodes):
+            tensor[:, ri, ref_col] = lead_est[0][rx_node]
+        first_partner_col = system.antenna_ids.index(others[0])
+        for ri, rx_node in enumerate(rx_nodes):
+            tensor[:, ri, first_partner_col] = partner_est[0][rx_node]
+
+        for k in range(1, len(others)):
+            partner = others[k]
+            col = system.antenna_ids.index(partner)
+            device = system.antenna_device[col]
+            ap = system.ap_ids[device]
+            for ri, rx_node in enumerate(rx_nodes):
+                # accumulated lead<->client offset over [t0, tk]
+                lr = channel_rotation(lead_est[0][rx_node], lead_est[k][rx_node])
+                if device == 0:
+                    offset = lr  # lead-owned antenna shares the lead clock
+                else:
+                    ls = slave_rotation[k][ap]
+                    offset = lr * np.conj(ls)
+                tensor[:, ri, col] = partner_est[k][rx_node] * np.conj(offset)
+
+        # ---- slave CFO warm-up -----------------------------------------------
+        t_warm = packet_times[-1] + packet_spacing_s
+        for _ in range(warmup_headers):
+            t_warm = round(t_warm * fs) / fs
+            medium.transmit(self.reference_antenna, header, t_warm)
+            for ap in system.ap_ids[1:]:
+                rx = medium.receive(system.listen_antenna[ap], t_warm, header_len)
+                system.synchronizers[ap].observe_header(
+                    rx, t_warm + REFERENCE_OFFSET / fs
+                )
+            medium.clear()
+            t_warm += packet_spacing_s
+
+        # ---- epoch alignment -------------------------------------------------
+        # The stitched estimates carry the oscillator phases of the packet-0
+        # HT-LTF midpoint, but the slaves' reference channels (and hence
+        # their data-time corrections) anchor at the packet-0 *header*
+        # midpoint, ~19 us earlier.  Left uncorrected, each slave column
+        # keeps a constant 2*pi*(f_S - f_L)*delta phase error (~0.3 rad at
+        # kHz offsets) that beamforming would pay for on every packet.
+        # Shift every slave's reference to the LTF epoch using its (by now
+        # converged) CFO estimate.
+        from repro.constants import CP_LENGTH, FFT_SIZE
+
+        ltf_center = header_len + 2 * CP_LENGTH + FFT_SIZE  # samples from header start
+        delta_s = (ltf_center - REFERENCE_OFFSET) / fs
+        for ap in system.ap_ids[1:]:
+            sync = system.synchronizers[ap]
+            cfo = sync.cfo_tracker.estimate_hz or 0.0
+            sync.reference.estimate = sync.reference.estimate * np.exp(
+                2j * np.pi * cfo * delta_s
+            )
+            sync.reference.reference_time += delta_s
+
+        system._channel_tensor = tensor
+        system.reference_time = t0_ref + delta_s
+        system.sounding_result = None  # the §6 path bypasses SoundingResult
+        # seed per-slave sounding CFOs for the 'naive' ablation strategy
+        for ap in system.ap_ids[1:]:
+            system._sounding_cfos[ap] = (
+                system.synchronizers[ap].cfo_tracker.estimate_hz or 0.0
+            )
+        return CompatSoundingReport(
+            reference_time=t0_ref, packet_times=packet_times
+        )
+
+
+def stitched_vs_genie_phase_error(system: MegaMimoSystem) -> np.ndarray:
+    """Per-entry phase error of the installed snapshot vs. genie channels.
+
+    Relative to the reference-antenna column (receivers can never observe
+    their own oscillator's absolute phase), averaged over occupied bins.
+    """
+    require(system._channel_tensor is not None, "no snapshot installed")
+    occupied = np.abs(lts_grid()) > 0
+    tref = system.reference_time
+    n_rows = len(system.client_antenna_ids)
+    n_cols = len(system.antenna_ids)
+
+    genie = np.zeros((n_rows, n_cols), dtype=complex)
+    for ri, rx_node in enumerate(system.client_antenna_ids):
+        rx_osc = system.medium.oscillator(rx_node)
+        for ci, antenna in enumerate(system.antenna_ids):
+            link = system.medium.get_link(antenna, rx_node)
+            tx_osc = system.medium.oscillator(antenna)
+            rot = np.exp(
+                1j * (tx_osc.phase_at([tref])[0] - rx_osc.phase_at([tref])[0])
+            )
+            genie[ri, ci] = link.taps[0] * rot
+
+    measured = np.array(
+        [
+            [
+                np.mean(system._channel_tensor[occupied, ri, ci])
+                for ci in range(n_cols)
+            ]
+            for ri in range(n_rows)
+        ]
+    )
+    errors = np.zeros((n_rows, n_cols))
+    from repro.utils.units import wrap_phase
+
+    for ri in range(n_rows):
+        rel_meas = np.angle(measured[ri] / measured[ri, 0])
+        rel_genie = np.angle(genie[ri] / genie[ri, 0])
+        errors[ri] = np.abs(wrap_phase(rel_meas - rel_genie))
+    return errors

@@ -1,0 +1,185 @@
+"""Decoupled per-receiver channel measurement (§7 and the appendix).
+
+When a new client joins, MegaMIMO must not re-measure every other client:
+measurements to different receivers may happen at different times t_1, t_2,
+..., with **the lead->slave channels serving as the shared reference**
+across those times.  The appendix shows the resulting channel decomposes as
+``H(t) = R(t) H_bar T(t)`` where the time-invariant matrix (Eq. 8) carries a
+correction on each slave column of each later-measured row:
+
+    h_bar[r, i] = h[r, i](t_r) * exp(-j (w_T1 - w_Ti)(t_r - t_1))
+
+and slave i computes ``exp(j (w_T1 - w_Ti)(t_r - t_1))`` purely from its own
+lead-channel observations at t_1 and t_r — no client involvement.  At
+transmission time every slave corrects relative to t_1 as usual, and each
+receiver sees a clean diagonal effective channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.beamforming import zero_forcing_precoder
+from repro.core.narrowband import NarrowbandNetwork
+from repro.utils.validation import require
+
+
+@dataclass
+class _ClientRecord:
+    time: float
+    row: np.ndarray  # (n_aps,) channel estimates taken at `time`
+
+
+class DecoupledChannelBook:
+    """Maintains decoupled per-client measurements and builds H-bar.
+
+    Args:
+        network: Narrowband world with one antenna per AP.
+        ap_antennas: AP antenna names; index 0 is the lead.
+        client_snr_db: Client-side estimation SNR (None = noiseless).
+        ap_snr_db: Slave-side estimation SNR for lead observations.
+    """
+
+    def __init__(
+        self,
+        network: NarrowbandNetwork,
+        ap_antennas: Sequence[str],
+        client_snr_db: Optional[float] = 25.0,
+        ap_snr_db: Optional[float] = 30.0,
+    ):
+        require(len(ap_antennas) >= 2, "need a lead and at least one slave")
+        self.network = network
+        self.ap_antennas = list(ap_antennas)
+        self.lead = self.ap_antennas[0]
+        self.client_snr_db = client_snr_db
+        self.ap_snr_db = ap_snr_db
+        self._clients: Dict[str, _ClientRecord] = {}
+        self._client_order: List[str] = []
+        #: slave antenna -> {measurement time -> lead observation}
+        self._lead_refs: Dict[str, Dict[float, complex]] = {
+            a: {} for a in self.ap_antennas[1:]
+        }
+
+    @property
+    def first_measurement_time(self) -> Optional[float]:
+        if not self._client_order:
+            return None
+        return self._clients[self._client_order[0]].time
+
+    # -- measurement ---------------------------------------------------------
+
+    def record_measurement(self, client_antenna: str, t: float) -> None:
+        """Measure one client's channels from all APs at time ``t``.
+
+        The lead's sync header also lets every slave log its lead-channel
+        observation at ``t`` — the shared reference for later correction.
+        """
+        row = np.array(
+            [
+                self.network.observe(ap, client_antenna, t, self.client_snr_db)
+                for ap in self.ap_antennas
+            ]
+        )
+        if client_antenna not in self._clients:
+            self._client_order.append(client_antenna)
+        self._clients[client_antenna] = _ClientRecord(time=float(t), row=row)
+        for slave in self.ap_antennas[1:]:
+            self._lead_refs[slave][float(t)] = self.network.observe(
+                self.lead, slave, t, self.ap_snr_db
+            )
+
+    # -- reference rotations ---------------------------------------------------
+
+    def slave_rotation(self, slave_antenna: str, t_from: float, t_to: float) -> complex:
+        """``exp(j (w_T1 - w_Ti)(t_to - t_from))`` from stored lead observations.
+
+        Raises KeyError if the slave has no observation at either time.
+        """
+        refs = self._lead_refs[slave_antenna]
+        a, b = refs[float(t_from)], refs[float(t_to)]
+        inner = b * np.conj(a)
+        magnitude = abs(inner)
+        require(magnitude > 1e-15, "degenerate lead reference observation")
+        return inner / magnitude
+
+    # -- the time-invariant matrix (appendix Eq. 8) ----------------------------
+
+    def time_invariant_matrix(self) -> np.ndarray:
+        """H-bar over the recorded clients, rows in measurement order."""
+        require(self._client_order, "no measurements recorded")
+        t1 = self.first_measurement_time
+        rows = []
+        for client in self._client_order:
+            record = self._clients[client]
+            row = record.row.copy()
+            if record.time != t1:
+                for i, slave in enumerate(self.ap_antennas[1:], start=1):
+                    # Rotate the slave's entry back to the t1 oscillator
+                    # epoch.  The drift of oscillator i over [t1, t_r]
+                    # decomposes into the lead's own drift (common to the
+                    # whole row, absorbed by the receiver) minus the
+                    # measurable lead-slave rotation, so multiplying by that
+                    # rotation is exactly the appendix's Eq. 8 correction
+                    # (written there with the opposite channel-phase sign
+                    # convention as e^{-j(w_T1 - w_Ti)(t_2 - t_1)}).
+                    rotation = self.slave_rotation(slave, t1, record.time)
+                    row[i] = row[i] * rotation
+            rows.append(row)
+        return np.stack(rows)
+
+    def naive_matrix(self) -> np.ndarray:
+        """Rows taken verbatim at their own measurement times (no correction).
+
+        The §7 strawman: without the shared lead reference the rows refer to
+        different oscillator epochs and beamforming from this matrix leaks
+        interference.  Used by tests and the ablation bench.
+        """
+        require(self._client_order, "no measurements recorded")
+        return np.stack([self._clients[c].row for c in self._client_order])
+
+    # -- transmission-time verification ---------------------------------------
+
+    def slave_correction_at(self, slave_antenna: str, t: float) -> complex:
+        """The slave's transmit correction for a transmission at time ``t``.
+
+        The slave observes the lead sync header at ``t`` (a fresh
+        observation) and references it to t_1, exactly like §5.2b.
+        """
+        t1 = self.first_measurement_time
+        current = self.network.observe(self.lead, slave_antenna, t, self.ap_snr_db)
+        reference = self._lead_refs[slave_antenna][float(t1)]
+        inner = current * np.conj(reference)
+        magnitude = abs(inner)
+        require(magnitude > 1e-15, "degenerate observation")
+        return inner / magnitude
+
+    def effective_channel_at(
+        self, t: float, matrix: np.ndarray = None
+    ) -> np.ndarray:
+        """Effective channel H(t) diag(corrections) W at transmission time.
+
+        Builds the ZF precoder from ``matrix`` (H-bar by default), applies
+        each slave's §5.2b correction, and returns what the clients see.
+        With the corrected H-bar this is diagonal up to estimation noise;
+        with :meth:`naive_matrix` it is visibly not.
+        """
+        h_bar = self.time_invariant_matrix() if matrix is None else matrix
+        precoder, _ = zero_forcing_precoder(h_bar)
+        corrections = np.ones(len(self.ap_antennas), dtype=complex)
+        for i, slave in enumerate(self.ap_antennas[1:], start=1):
+            corrections[i] = self.slave_correction_at(slave, t)
+        true_h = np.empty_like(h_bar)
+        for ri, client in enumerate(self._client_order):
+            for ci, ap in enumerate(self.ap_antennas):
+                true_h[ri, ci] = self.network.true_channel(ap, client, t)
+        return (true_h * corrections[None, :]) @ precoder
+
+    def interference_leakage_db(self, t: float, matrix: np.ndarray = None) -> float:
+        """Off-diagonal-to-diagonal power ratio (dB) of the effective channel."""
+        eff = self.effective_channel_at(t, matrix)
+        diag = np.sum(np.abs(np.diag(eff)) ** 2)
+        off = np.sum(np.abs(eff) ** 2) - diag
+        return float(10.0 * np.log10(max(off, 1e-30) / diag))

@@ -1,0 +1,118 @@
+"""Narrowband (flat-fading, frequency-domain) network abstraction.
+
+The §6 (802.11n compatibility) and §7 (decoupled measurement) protocols are
+about *bookkeeping of oscillator phases across measurements taken at
+different times*.  Their math is per-subcarrier, so this module provides a
+minimal frequency-domain world: nodes with free-running oscillators, static
+complex channels between antennas, and noisy channel *observations* that
+include the instantaneous relative oscillator rotation — exactly what a
+receiver's channel estimator returns.
+
+The full sample-level machinery in :mod:`repro.core.system` validates that
+this abstraction matches reality; these modules use it for clarity and
+speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.oscillator import Oscillator, OscillatorConfig
+from repro.utils.rng import complex_normal, ensure_rng
+from repro.utils.units import db_to_linear
+from repro.utils.validation import require
+
+
+class NarrowbandNetwork:
+    """Antennas, oscillators and flat channels, observed with noise.
+
+    Antennas belong to *devices*; all antennas of a device share its
+    oscillator (they are "driven by the same clock"), which is what makes a
+    single AP's multi-antenna beamforming trivially phase-coherent and the
+    multi-AP case the hard problem.
+    """
+
+    def __init__(self, rng=None):
+        self._rng = ensure_rng(rng)
+        self._oscillators: Dict[str, Oscillator] = {}
+        self._antenna_device: Dict[str, str] = {}
+        self._channels: Dict[Tuple[str, str], complex] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_device(
+        self,
+        device: str,
+        antennas,
+        oscillator: Oscillator = None,
+        max_ppm: float = 2.0,
+        phase_noise_rad2_per_s: float = 0.25,
+    ) -> None:
+        """Add a device with its antennas and a (possibly random) oscillator."""
+        require(device not in self._oscillators, f"duplicate device {device!r}")
+        if oscillator is None:
+            oscillator = Oscillator(
+                OscillatorConfig(
+                    ppm_offset=float(self._rng.uniform(-max_ppm, max_ppm)),
+                    phase_noise_rad2_per_s=phase_noise_rad2_per_s,
+                    initial_phase=float(self._rng.uniform(-np.pi, np.pi)),
+                ),
+                rng=self._rng,
+            )
+        self._oscillators[device] = oscillator
+        for antenna in antennas:
+            require(
+                antenna not in self._antenna_device, f"duplicate antenna {antenna!r}"
+            )
+            self._antenna_device[antenna] = device
+
+    def set_channel(self, tx_antenna: str, rx_antenna: str, value: complex) -> None:
+        """Define the static channel between two antennas."""
+        self._channels[(tx_antenna, rx_antenna)] = complex(value)
+
+    def randomize_channels(self, tx_antennas, rx_antennas, average_gain: float = 1.0):
+        """Draw i.i.d. Rayleigh channels for every tx/rx antenna pair."""
+        for tx in tx_antennas:
+            for rx in rx_antennas:
+                self.set_channel(
+                    tx, rx, complex(complex_normal(self._rng, (), np.sqrt(average_gain)))
+                )
+
+    # -- physics -------------------------------------------------------------
+
+    def device_of(self, antenna: str) -> str:
+        return self._antenna_device[antenna]
+
+    def oscillator_of_device(self, device: str) -> Oscillator:
+        return self._oscillators[device]
+
+    def true_channel(self, tx_antenna: str, rx_antenna: str, t: float) -> complex:
+        """Channel including the relative oscillator rotation at time ``t``."""
+        h = self._channels[(tx_antenna, rx_antenna)]
+        tx_osc = self._oscillators[self._antenna_device[tx_antenna]]
+        rx_osc = self._oscillators[self._antenna_device[rx_antenna]]
+        rotation = np.exp(
+            1j * (tx_osc.phase_at([t])[0] - rx_osc.phase_at([t])[0])
+        )
+        return h * rotation
+
+    def observe(
+        self,
+        tx_antenna: str,
+        rx_antenna: str,
+        t: float,
+        snr_db: Optional[float] = 30.0,
+    ) -> complex:
+        """A noisy channel estimate, as a receiver's estimator would return.
+
+        Args:
+            snr_db: Estimation SNR; None for a noiseless (genie) observation.
+        """
+        value = self.true_channel(tx_antenna, rx_antenna, t)
+        if snr_db is None:
+            return value
+        noise_scale = abs(value) / np.sqrt(db_to_linear(snr_db))
+        return value + complex(complex_normal(self._rng, (), noise_scale))

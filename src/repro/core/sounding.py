@@ -1,0 +1,258 @@
+"""The channel-measurement phase: interleaved sounding (paper §5.1).
+
+Frame layout (times in samples at the channel rate)::
+
+    [lead sync header | per-AP CFO blocks | n_rounds x n_aps interleaved LTS]
+
+* The **lead sync header** (STS + 2 LTS) triggers the slaves, gives clients
+  timing/CFO lock to the lead, and gives each slave its reference channel
+  h_lead(0) (§5.1c).
+* **CFO blocks**: each AP in turn sends two back-to-back LTS copies so every
+  client can measure that AP's carrier offset ("the channel measurement
+  transmission uses CFO symbols from each AP followed by channel estimation
+  symbols", §5.1b).
+* **Interleaved channel-estimation symbols**: the APs take 80-sample turns,
+  ``n_rounds`` times.  Interleaving keeps per-AP measurements close together
+  in time so rotating them to the common reference time needs only a short,
+  low-error extrapolation; repetition lets clients average out noise (§5.1a).
+
+Clients refine each AP's CFO from the round-to-round rotation of its channel
+estimates (period ``n_aps * 80`` samples), using the CFO-block estimate only
+to resolve the phase-wrap ambiguity; they then de-rotate every estimate to
+the reference time and average (§5.1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.constants import CP_LENGTH, FFT_SIZE
+from repro.phy.cfo import estimate_cfo_fine
+from repro.phy.channel_est import estimate_channel_lts
+from repro.phy.preamble import (
+    SYNC_HEADER_LTS_REPEATS,
+    long_training_sequence,
+    lts_symbol_offsets,
+    sync_header,
+    sync_header_length,
+)
+from repro.utils.validation import require
+
+#: Samples per interleaved channel-estimation slot (CP + LTS).
+SLOT_LENGTH = CP_LENGTH + FFT_SIZE
+#: Samples per per-AP CFO block (double guard + two LTS copies).
+CFO_BLOCK_LENGTH = 2 * CP_LENGTH + 2 * FFT_SIZE
+
+#: Offset (samples) of the phase reference instant inside the sync header:
+#: the midpoint of the header's two LTS copies, which is where the averaged
+#: header channel estimate is effectively taken.
+REFERENCE_OFFSET = int(lts_symbol_offsets(SYNC_HEADER_LTS_REPEATS)[0] + FFT_SIZE)
+
+
+@dataclass
+class SoundingPlan:
+    """Geometry of a sounding frame.
+
+    Attributes:
+        n_aps: Number of participating APs (AP 0 is the lead).
+        n_rounds: Interleaved repetitions for noise averaging.
+        sample_rate: Channel sample rate.
+    """
+
+    n_aps: int
+    n_rounds: int = 4
+    sample_rate: float = 10e6
+
+    @property
+    def header_length(self) -> int:
+        return sync_header_length()
+
+    @property
+    def cfo_section_length(self) -> int:
+        return self.n_aps * CFO_BLOCK_LENGTH
+
+    @property
+    def interleaved_length(self) -> int:
+        return self.n_rounds * self.n_aps * SLOT_LENGTH
+
+    @property
+    def frame_length(self) -> int:
+        return self.header_length + self.cfo_section_length + self.interleaved_length
+
+    def cfo_block_start(self, ap_index: int) -> int:
+        return self.header_length + ap_index * CFO_BLOCK_LENGTH
+
+    def slot_start(self, ap_index: int, round_index: int) -> int:
+        require(0 <= ap_index < self.n_aps, "bad AP index")
+        require(0 <= round_index < self.n_rounds, "bad round index")
+        return (
+            self.header_length
+            + self.cfo_section_length
+            + (round_index * self.n_aps + ap_index) * SLOT_LENGTH
+        )
+
+    def slot_center_offset(self, ap_index: int, round_index: int) -> float:
+        """Sample offset of a slot's effective measurement instant."""
+        return self.slot_start(ap_index, round_index) + CP_LENGTH + FFT_SIZE / 2.0
+
+    @property
+    def round_period_samples(self) -> int:
+        """Spacing between one AP's consecutive round slots."""
+        return self.n_aps * SLOT_LENGTH
+
+
+def interleaved_sounding_frame(plan: SoundingPlan, ap_index: int) -> np.ndarray:
+    """The time-domain samples AP ``ap_index`` transmits during sounding.
+
+    The lead additionally transmits the sync header; every AP transmits its
+    CFO block and one LTS in each of its interleaved slots, and is silent
+    elsewhere.
+    """
+    frame = np.zeros(plan.frame_length, dtype=complex)
+    if ap_index == 0:
+        header = sync_header()
+        frame[: header.size] = header
+    cfo_block = long_training_sequence(repeats=2)  # 32 guard + 2 x 64
+    start = plan.cfo_block_start(ap_index)
+    frame[start : start + cfo_block.size] = cfo_block
+    slot_symbol = long_training_sequence(repeats=1, cp_length=CP_LENGTH)
+    for r in range(plan.n_rounds):
+        s = plan.slot_start(ap_index, r)
+        frame[s : s + slot_symbol.size] = slot_symbol
+    return frame
+
+
+@dataclass
+class ClientSoundingEstimate:
+    """One client's output of the sounding phase.
+
+    Attributes:
+        channels: (n_aps, 64) channel estimates rotated to the reference time.
+        cfos_hz: (n_aps,) per-AP carrier offsets as seen by this client.
+        noise_power: Estimated per-bin noise power (reported to the APs for
+            rate selection, §9).
+    """
+
+    channels: np.ndarray
+    cfos_hz: np.ndarray
+    noise_power: float
+
+
+@dataclass
+class SoundingResult:
+    """Aggregate sounding output the APs use for beamforming.
+
+    Attributes:
+        client_estimates: Per-client estimates, in client order.
+        reference_time: Absolute time all channels refer to.
+    """
+
+    client_estimates: List[ClientSoundingEstimate]
+    reference_time: float
+
+    def channel_matrix(self, subcarrier_bin: int) -> np.ndarray:
+        """(n_clients, n_aps) channel matrix on one FFT bin."""
+        return np.stack(
+            [est.channels[:, subcarrier_bin] for est in self.client_estimates]
+        )
+
+    def channel_tensor(self) -> np.ndarray:
+        """(64, n_clients, n_aps) channel tensor over all bins."""
+        per_client = [est.channels.T for est in self.client_estimates]  # (64, n_aps)
+        return np.stack(per_client, axis=1)
+
+
+def estimate_single_ap(
+    samples: np.ndarray, plan: SoundingPlan, ap: int
+):
+    """Estimate one AP's channel, CFO and estimate dispersion from a
+    received sounding frame.
+
+    Returns:
+        (channel, cfo_hz, residual_var): the 64-bin channel de-rotated to
+        the reference time, the refined CFO, and the per-bin dispersion of
+        the per-round estimates (a noise-power estimate).
+    """
+    samples = np.asarray(samples, dtype=complex).ravel()
+    require(samples.size >= plan.frame_length, "sounding capture too short")
+    n_rounds = plan.n_rounds
+
+    # 1. coarse CFO from the AP's dedicated block (6.4 us baseline)
+    block_start = plan.cfo_block_start(ap) + 2 * CP_LENGTH
+    block = samples[block_start : block_start + 2 * FFT_SIZE]
+    coarse_cfo = estimate_cfo_fine(block, plan.sample_rate)
+
+    # 2. raw per-round channel estimates.  The client "uses its knowledge of
+    #    the transmitted symbols and the CFO to compute the channel" (§5.1b):
+    #    de-rotating each window by the coarse CFO (anchored at the window
+    #    center so the estimate's phase epoch is unchanged) removes the
+    #    intra-window rotation that would otherwise leak ICI into the bins.
+    raw = []
+    centered = np.arange(FFT_SIZE) - (FFT_SIZE - 1) / 2.0
+    for r in range(n_rounds):
+        s = plan.slot_start(ap, r) + CP_LENGTH
+        window = samples[s : s + FFT_SIZE] * np.exp(
+            -2j * np.pi * coarse_cfo * centered / plan.sample_rate
+        )
+        raw.append(estimate_channel_lts(window))
+    raw = np.stack(raw)  # (n_rounds, 64)
+
+    # 3. refine CFO from round-to-round rotation (long baseline); the
+    #    coarse estimate resolves the wrap ambiguity of the fine one
+    round_period_s = plan.round_period_samples / plan.sample_rate
+    if n_rounds > 1:
+        inner = np.sum(raw[1:] * np.conj(raw[:-1]))
+        expected_phase = 2.0 * np.pi * coarse_cfo * round_period_s
+        measured = np.angle(inner * np.exp(-1j * expected_phase))
+        cfo = coarse_cfo + measured / (2.0 * np.pi * round_period_s)
+    else:
+        cfo = coarse_cfo
+
+    # 4. de-rotate each round's estimate to the reference time & average
+    derotated = np.empty_like(raw)
+    for r in range(n_rounds):
+        elapsed = (
+            plan.slot_center_offset(ap, r) - REFERENCE_OFFSET
+        ) / plan.sample_rate
+        derotated[r] = raw[r] * np.exp(-2j * np.pi * cfo * elapsed)
+    channel = derotated.mean(axis=0)
+
+    # 5. dispersion of the de-rotated estimates -> noise estimate
+    residual_var = 0.0
+    occupied = np.abs(channel) > 0
+    if n_rounds > 1 and np.any(occupied):
+        dev = derotated[:, occupied] - channel[occupied][None, :]
+        residual_var = float(np.mean(np.abs(dev) ** 2))
+    return channel, float(cfo), residual_var
+
+
+def estimate_at_client(
+    samples: np.ndarray,
+    plan: SoundingPlan,
+) -> ClientSoundingEstimate:
+    """Client-side sounding processing (§5.1b).
+
+    Args:
+        samples: Received stream aligned so index 0 is the sync header start.
+        plan: The sounding frame geometry.
+
+    Returns:
+        Channel estimates per AP, de-rotated to the common reference time.
+    """
+    n_aps = plan.n_aps
+    channels = np.zeros((n_aps, FFT_SIZE), dtype=complex)
+    cfos = np.zeros(n_aps)
+    residual_vars = []
+    for ap in range(n_aps):
+        channel, cfo, residual = estimate_single_ap(samples, plan, ap)
+        channels[ap] = channel
+        cfos[ap] = cfo
+        if residual > 0:
+            residual_vars.append(residual)
+    # per-round estimate variance equals the per-bin noise power (unit-power
+    # LTS bins), so the dispersion estimates the channel's noise floor
+    noise_power = float(np.mean(residual_vars)) if residual_vars else 0.0
+    return ClientSoundingEstimate(channels=channels, cfos_hz=cfos, noise_power=noise_power)

@@ -1,0 +1,99 @@
+"""Asynchronous acknowledgments and retransmission (§9).
+
+"MegaMIMO disables synchronous ACKs at clients and uses higher layer
+asynchronous acknowledgments like in prior work such as MRD and ZipTx.
+[...] As in regular 802.11, APs in MegaMIMO keep packets in the queue until
+they are ACKed.  If a packet is not ACKed, they can be combined with other
+packets in the queue for future concurrent transmissions."
+
+Crucially, per-client losses are **decoupled**: stale channel state to one
+client corrupts only that client's stream; the others decode fine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mac.queue import DownlinkQueue, Packet
+from repro.utils.validation import require
+
+
+class PacketStatus(enum.Enum):
+    """Lifecycle of an in-flight packet."""
+
+    IN_FLIGHT = "in_flight"
+    ACKED = "acked"
+    LOST = "lost"
+
+
+@dataclass
+class _Flight:
+    packet: Packet
+    sent_at: float
+    status: PacketStatus = PacketStatus.IN_FLIGHT
+
+
+class ArqController:
+    """Tracks in-flight packets and feeds losses back into the queue.
+
+    Args:
+        queue: The shared downlink queue packets return to on loss.
+        ack_timeout_s: How long to wait for the asynchronous ACK before
+            declaring a packet lost and requeueing it.
+        max_retries: Drop a packet after this many retransmissions.
+    """
+
+    def __init__(
+        self,
+        queue: DownlinkQueue,
+        ack_timeout_s: float = 10e-3,
+        max_retries: int = 7,
+    ):
+        require(ack_timeout_s > 0, "timeout must be positive")
+        self.queue = queue
+        self.ack_timeout_s = float(ack_timeout_s)
+        self.max_retries = int(max_retries)
+        self._in_flight: Dict[int, _Flight] = {}
+        self.delivered: List[Packet] = []
+        self.dropped: List[Packet] = []
+
+    def on_transmit(self, packet: Packet, now: float) -> None:
+        """Record that ``packet`` left in a joint transmission at ``now``."""
+        self._in_flight[packet.seqno] = _Flight(packet=packet, sent_at=now)
+
+    def on_ack(self, seqno: int) -> None:
+        """Asynchronous higher-layer ACK arrived for ``seqno``."""
+        flight = self._in_flight.pop(seqno, None)
+        if flight is None:
+            return  # duplicate/late ACK
+        flight.status = PacketStatus.ACKED
+        self.delivered.append(flight.packet)
+
+    def poll_timeouts(self, now: float) -> List[Packet]:
+        """Requeue every packet whose ACK timer expired; returns them.
+
+        Packets beyond ``max_retries`` are dropped instead.
+        """
+        expired = [
+            f for f in self._in_flight.values()
+            if now - f.sent_at >= self.ack_timeout_s
+        ]
+        requeued = []
+        for flight in expired:
+            del self._in_flight[flight.packet.seqno]
+            flight.status = PacketStatus.LOST
+            if flight.packet.retries >= self.max_retries:
+                self.dropped.append(flight.packet)
+            else:
+                self.queue.requeue(flight.packet)
+                requeued.append(flight.packet)
+        return requeued
+
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    def status_of(self, seqno: int) -> Optional[PacketStatus]:
+        flight = self._in_flight.get(seqno)
+        return flight.status if flight else None

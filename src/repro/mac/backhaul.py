@@ -1,0 +1,101 @@
+"""The wired backend connecting MegaMIMO APs (§3, §9).
+
+"MegaMIMO APs are connected by a high throughput backend, say, GigE ...
+Packets intended for receivers are distributed to all APs over the shared
+backend" and "the lead AP makes all control decisions and communicates
+them to the slave APs over the Ethernet."
+
+The paper treats the wire as ideal capacity-wise; this model keeps that
+assumption for correctness but accounts for latency and bandwidth so the
+airtime analysis can include backend effects (e.g. how long before every
+AP holds a packet that just arrived from the distribution system).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.validation import require
+
+
+@dataclass
+class BackhaulConfig:
+    """Wired backend parameters.
+
+    Attributes:
+        bandwidth_bps: Link capacity (GigE default).
+        latency_s: One-way propagation + switching latency.
+    """
+
+    bandwidth_bps: float = 1e9
+    latency_s: float = 50e-6
+
+
+@dataclass(order=True)
+class _Delivery:
+    arrival_time: float
+    payload: object = field(compare=False)
+    destination: str = field(compare=False)
+
+
+class EthernetBackhaul:
+    """A broadcast-capable wired backend with latency and serialization.
+
+    Messages are timestamped; ``deliveries_until(t)`` drains everything
+    that has arrived by ``t``.  Broadcast (packet distribution to all APs)
+    and unicast (lead -> slave control) share the link's serialization
+    budget, which is how the model would surface a backend bottleneck if
+    one were configured.
+    """
+
+    def __init__(self, nodes: List[str], config: Optional[BackhaulConfig] = None):
+        require(len(nodes) >= 1, "need at least one node")
+        self.nodes = list(nodes)
+        self.config = config or BackhaulConfig()
+        self._queue: List[_Delivery] = []
+        self._link_free_at = 0.0
+        self.bytes_carried = 0
+
+    def _serialize(self, now: float, size_bytes: int) -> float:
+        """Reserve link time; returns when the transmission completes."""
+        start = max(now, self._link_free_at)
+        duration = 8 * size_bytes / self.config.bandwidth_bps
+        self._link_free_at = start + duration
+        self.bytes_carried += size_bytes
+        return self._link_free_at
+
+    def broadcast(self, now: float, payload, size_bytes: int,
+                  exclude: Optional[str] = None) -> float:
+        """Distribute ``payload`` to every node; returns the arrival time."""
+        done = self._serialize(now, size_bytes)
+        arrival = done + self.config.latency_s
+        for node in self.nodes:
+            if node == exclude:
+                continue
+            heapq.heappush(self._queue, _Delivery(arrival, payload, node))
+        return arrival
+
+    def unicast(self, now: float, destination: str, payload, size_bytes: int) -> float:
+        """Send ``payload`` to one node; returns the arrival time."""
+        require(destination in self.nodes, f"unknown node {destination!r}")
+        done = self._serialize(now, size_bytes)
+        arrival = done + self.config.latency_s
+        heapq.heappush(self._queue, _Delivery(arrival, payload, destination))
+        return arrival
+
+    def deliveries_until(self, t: float) -> List[Tuple[float, str, object]]:
+        """Pop every (arrival_time, destination, payload) arrived by ``t``."""
+        out = []
+        while self._queue and self._queue[0].arrival_time <= t:
+            d = heapq.heappop(self._queue)
+            out.append((d.arrival_time, d.destination, d.payload))
+        return out
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def distribution_delay_s(self, size_bytes: int) -> float:
+        """Idle-link time to put one packet on every AP (the §9 pattern)."""
+        return 8 * size_bytes / self.config.bandwidth_bps + self.config.latency_s

@@ -1,0 +1,73 @@
+"""Baseline throughput models the paper compares against.
+
+* **Traditional 802.11** (the USRP-testbed baseline, §11.2): only one AP may
+  transmit on the channel at a time, so N clients time-share it.  "Since
+  USRPs don't have carrier sense, we compute 802.11 throughput by providing
+  each client with an equal share of the medium."
+* **Traditional 802.11n** (the compat-testbed baseline, §11.5): each client
+  gets 2-stream MIMO service from its best AP, again with an equal airtime
+  share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mac.rate import EffectiveSnrRateSelector
+from repro.utils.validation import require
+
+
+def baseline_80211_throughput(
+    per_client_subcarrier_snr_db: Sequence[np.ndarray],
+    selector: EffectiveSnrRateSelector,
+) -> np.ndarray:
+    """Per-client 802.11 throughput under equal medium sharing (bits/s).
+
+    Args:
+        per_client_subcarrier_snr_db: For each client, its per-subcarrier
+            SNRs from its best AP (single-AP unicast).
+        selector: Rate selector (carries sample rate + MAC efficiency).
+
+    Returns:
+        (n_clients,) throughput; client i gets rate_i / n_clients.
+    """
+    n = len(per_client_subcarrier_snr_db)
+    require(n >= 1, "need at least one client")
+    rates = np.array(
+        [selector.goodput(snrs) for snrs in per_client_subcarrier_snr_db]
+    )
+    return rates / n
+
+
+def baseline_80211n_throughput(
+    per_client_stream_snrs_db: Sequence[Sequence[np.ndarray]],
+    selector: EffectiveSnrRateSelector,
+) -> np.ndarray:
+    """Per-client 802.11n MIMO throughput under equal medium sharing.
+
+    Args:
+        per_client_stream_snrs_db: For each client, a list of per-stream
+            per-subcarrier SNR arrays (2 streams for a 2-antenna client
+            served by its best 2-antenna AP).
+        selector: Rate selector.
+
+    Returns:
+        (n_clients,) throughput; each client's streams sum, then the medium
+        is shared equally.
+    """
+    n = len(per_client_stream_snrs_db)
+    require(n >= 1, "need at least one client")
+    rates = np.array(
+        [
+            sum(selector.goodput(snrs) for snrs in streams)
+            for streams in per_client_stream_snrs_db
+        ]
+    )
+    return rates / n
+
+
+def megamimo_throughput_from_rates(per_stream_goodput: Sequence[float]) -> float:
+    """Total MegaMIMO throughput: all streams fly concurrently (bits/s)."""
+    return float(np.sum(per_stream_goodput))

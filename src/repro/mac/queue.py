@@ -1,0 +1,90 @@
+"""The shared downlink queue over the wired backend (§9).
+
+"In MegaMIMO, all downlink packets are sent on the Ethernet to all MegaMIMO
+APs.  Thus, all APs in the network have the same downlink queue.  Each
+packet in the queue has a designated AP, which is the AP with the strongest
+SNR to the client to which that packet is destined."
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.validation import require
+
+_sequence = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One downlink packet.
+
+    Attributes:
+        client: Destination client index.
+        size_bytes: Payload size.
+        designated_ap: AP index with the strongest SNR to the client.
+        seqno: Monotonic enqueue order (FIFO key).
+        retries: Times this packet has been (re)transmitted.
+    """
+
+    client: int
+    size_bytes: int
+    designated_ap: int
+    seqno: int = field(default_factory=lambda: next(_sequence))
+    retries: int = 0
+
+
+class DownlinkQueue:
+    """FIFO downlink queue replicated at every AP via the backend.
+
+    Args:
+        client_ap_snr_db: (n_clients, n_aps) SNR map used to designate APs.
+    """
+
+    def __init__(self, client_ap_snr_db: np.ndarray):
+        snr = np.asarray(client_ap_snr_db, dtype=float)
+        require(snr.ndim == 2, "need an (n_clients, n_aps) SNR map")
+        self.client_ap_snr_db = snr
+        self.n_clients, self.n_aps = snr.shape
+        self._queue: Deque[Packet] = deque()
+
+    def designated_ap(self, client: int) -> int:
+        """AP with the strongest SNR to ``client``."""
+        return int(np.argmax(self.client_ap_snr_db[client]))
+
+    def enqueue(self, client: int, size_bytes: int = 1500) -> Packet:
+        """Add one packet for ``client``; designation happens here."""
+        require(0 <= client < self.n_clients, "unknown client")
+        packet = Packet(
+            client=client,
+            size_bytes=size_bytes,
+            designated_ap=self.designated_ap(client),
+        )
+        self._queue.append(packet)
+        return packet
+
+    def requeue(self, packet: Packet) -> None:
+        """Return an unACKed packet for a future joint transmission (§9)."""
+        packet.retries += 1
+        self._queue.append(packet)
+
+    def head(self) -> Optional[Packet]:
+        """The packet MegaMIMO always transmits next (head of the queue)."""
+        return self._queue[0] if self._queue else None
+
+    def remove(self, packet: Packet) -> None:
+        self._queue.remove(packet)
+
+    def pending_for(self, client: int) -> List[Packet]:
+        return [p for p in self._queue if p.client == client]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)

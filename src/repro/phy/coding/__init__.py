@@ -1,0 +1,15 @@
+"""Forward error correction: convolutional code, puncturing, interleaver,
+scrambler — the 802.11a/g coding chain."""
+
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.coding.puncturing import Puncturer, PUNCTURE_PATTERNS
+from repro.phy.coding.interleaver import BlockInterleaver
+from repro.phy.coding.scrambler import Scrambler
+
+__all__ = [
+    "ConvolutionalCode",
+    "Puncturer",
+    "PUNCTURE_PATTERNS",
+    "BlockInterleaver",
+    "Scrambler",
+]

@@ -1,0 +1,37 @@
+"""802.11 frame-synchronous scrambler (x^7 + x^4 + 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+class Scrambler:
+    """Length-127 self-synchronizing scrambler of IEEE 802.11-2012 §18.3.5.5.
+
+    Scrambling and descrambling are the same XOR operation with the LFSR
+    keystream, so one class provides both directions.
+    """
+
+    def __init__(self, seed: int = 0b1011101):
+        require(0 < seed < 128, "scrambler seed must be a non-zero 7-bit value")
+        self.seed = seed
+
+    def keystream(self, n_bits: int) -> np.ndarray:
+        """Generate ``n_bits`` of the scrambling sequence."""
+        state = self.seed
+        out = np.empty(n_bits, dtype=np.uint8)
+        for i in range(n_bits):
+            bit = ((state >> 6) ^ (state >> 3)) & 1
+            state = ((state << 1) | bit) & 0x7F
+            out[i] = bit
+        return out
+
+    def scramble(self, bits: np.ndarray) -> np.ndarray:
+        """XOR the data bits with the scrambler keystream."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        return bits ^ self.keystream(bits.size)
+
+    # descrambling is identical
+    descramble = scramble

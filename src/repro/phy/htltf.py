@@ -1,0 +1,64 @@
+"""Two-stream training fields (802.11n HT-LTF style).
+
+Stock 802.11n receivers measure multi-stream channels from HT long
+training fields: over two LTS symbols, stream 0 transmits ``[L, L]`` and
+stream 1 ``[L, -L]`` (a 2x2 orthogonal mapping, the P matrix), so a
+receiver separates the two transmit chains with one add and one subtract:
+
+    h0 = (y0 + y1) / (2 L),    h1 = (y0 - y1) / (2 L)
+
+This is the packet format MegaMIMO's §6 sounding relies on: every
+measurement is "a series of two-stream transmissions" the client's card
+already understands.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.constants import CP_LENGTH, FFT_SIZE
+from repro.phy.channel_est import estimate_channel_lts
+from repro.phy.preamble import lts_grid
+from repro.utils.validation import require
+
+#: the 2x2 orthogonal stream-mapping matrix
+P_MATRIX = np.array([[1.0, 1.0], [1.0, -1.0]])
+
+#: samples: double guard + two mapped LTS symbols
+HTLTF_LENGTH = 2 * CP_LENGTH + 2 * FFT_SIZE
+
+
+def htltf_waveforms() -> np.ndarray:
+    """Per-stream time-domain HT-LTF: (2, HTLTF_LENGTH) samples.
+
+    Stream s transmits ``P[s, k] * LTS`` in symbol slot k, preceded by a
+    shared 32-sample cyclic guard.
+    """
+    time_lts = np.fft.ifft(lts_grid()) * np.sqrt(FFT_SIZE)
+    out = np.empty((2, HTLTF_LENGTH), dtype=complex)
+    for s in range(2):
+        body = np.concatenate([P_MATRIX[s, 0] * time_lts, P_MATRIX[s, 1] * time_lts])
+        guard = body[-2 * CP_LENGTH :]
+        out[s] = np.concatenate([guard, body])
+    return out
+
+
+def estimate_two_streams(samples: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-stream 64-bin channel estimates from a received HT-LTF.
+
+    Args:
+        samples: At least HTLTF_LENGTH samples aligned to the field start.
+
+    Returns:
+        (h0, h1): the two transmit chains' channel estimates.
+    """
+    samples = np.asarray(samples, dtype=complex).ravel()
+    require(samples.size >= HTLTF_LENGTH, "HT-LTF capture too short")
+    start = 2 * CP_LENGTH
+    y0 = estimate_channel_lts(samples[start : start + FFT_SIZE])
+    y1 = estimate_channel_lts(samples[start + FFT_SIZE : start + 2 * FFT_SIZE])
+    h0 = (y0 + y1) / 2.0
+    h1 = (y0 - y1) / 2.0
+    return h0, h1

@@ -1,0 +1,79 @@
+"""Modulation-and-coding-scheme definitions derived from the MCS table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    MCS_MIN_SNR_DB,
+    MCS_TABLE,
+    N_DATA_SUBCARRIERS,
+    SYMBOL_LENGTH,
+)
+from repro.phy.modulation import Modulation, get_modulation
+
+
+@dataclass(frozen=True)
+class Mcs:
+    """One row of the 802.11a MCS table.
+
+    Attributes:
+        index: Position in the table (0 = BPSK-1/2 ... 7 = 64QAM-3/4).
+        name: e.g. ``"16QAM-3/4"``.
+        bits_per_subcarrier: Modulation order exponent.
+        coding_rate: (numerator, denominator) of the convolutional rate.
+        min_snr_db: Minimum effective SNR to sustain the MCS ([13]).
+    """
+
+    index: int
+    name: str
+    bits_per_subcarrier: int
+    coding_rate: tuple
+    min_snr_db: float
+
+    @property
+    def modulation(self) -> Modulation:
+        mod_name = self.name.split("-")[0]
+        return get_modulation(mod_name)
+
+    @property
+    def coded_bits_per_symbol(self) -> int:
+        """Coded bits per OFDM symbol (N_CBPS)."""
+        return N_DATA_SUBCARRIERS * self.bits_per_subcarrier
+
+    @property
+    def data_bits_per_symbol(self) -> int:
+        """Information bits per OFDM symbol (N_DBPS)."""
+        num, den = self.coding_rate
+        return self.coded_bits_per_symbol * num // den
+
+    def bitrate(self, sample_rate: float) -> float:
+        """PHY bitrate in bits/s at the given channel sample rate.
+
+        At 20 MHz a symbol lasts 4 us giving the familiar 6..54 Mbps; the
+        paper's 10 MHz USRP channel halves these to 3..27 Mbps.
+        """
+        symbol_time = SYMBOL_LENGTH / float(sample_rate)
+        return self.data_bits_per_symbol / symbol_time
+
+
+#: All MCS rows, indexable by MCS index.
+ALL_MCS = tuple(
+    Mcs(i, name, bits, rate, snr)
+    for i, ((name, bits, rate), snr) in enumerate(zip(MCS_TABLE, MCS_MIN_SNR_DB))
+)
+
+
+def get_mcs(index: int) -> Mcs:
+    """Return the MCS with the given table index."""
+    if not 0 <= index < len(ALL_MCS):
+        raise IndexError(f"MCS index {index} out of range 0..{len(ALL_MCS) - 1}")
+    return ALL_MCS[index]
+
+
+def mcs_by_name(name: str) -> Mcs:
+    """Return the MCS with the given name, e.g. ``"QPSK-1/2"``."""
+    for mcs in ALL_MCS:
+        if mcs.name == name:
+            return mcs
+    raise KeyError(f"no MCS named {name!r}")

@@ -1,0 +1,164 @@
+"""64-point OFDM modulation with pilot-aided phase tracking.
+
+Maps 48 data symbols plus 4 scrambled pilots onto the 802.11 subcarrier
+grid, performs the IFFT and prepends the cyclic prefix.  The demodulator
+strips the prefix, FFTs, equalizes against a channel estimate, and applies
+common-phase-error correction derived from the pilots — which is exactly how
+MegaMIMO clients "track the phase of the lead AP symbol by symbol" (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    CP_LENGTH,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    N_DATA_SUBCARRIERS,
+    PILOT_POLARITY,
+    PILOT_SUBCARRIERS,
+    PILOT_VALUES,
+    SYMBOL_LENGTH,
+)
+from repro.utils.validation import require
+
+
+def subcarrier_to_fft_index(subcarriers: np.ndarray) -> np.ndarray:
+    """Map signed subcarrier indices (-26..26) to FFT bin indices (0..63)."""
+    subcarriers = np.asarray(subcarriers)
+    return np.where(subcarriers >= 0, subcarriers, subcarriers + FFT_SIZE)
+
+
+_DATA_BINS = subcarrier_to_fft_index(DATA_SUBCARRIERS)
+_PILOT_BINS = subcarrier_to_fft_index(PILOT_SUBCARRIERS)
+
+
+@dataclass
+class EqualizedSymbol:
+    """Result of demodulating one OFDM symbol.
+
+    Attributes:
+        data: 48 equalized data-subcarrier values.
+        common_phase: Pilot-derived common phase error that was removed.
+        pilot_snr: Crude SNR estimate from pilot dispersion (linear).
+    """
+
+    data: np.ndarray
+    common_phase: float
+    pilot_snr: float
+
+
+class OfdmModulator:
+    """Map frequency-domain data symbols to cyclic-prefixed time samples."""
+
+    def __init__(self):
+        self.fft_size = FFT_SIZE
+        self.cp_length = CP_LENGTH
+
+    def symbol_grid(self, data_symbols: np.ndarray, symbol_index: int = 0) -> np.ndarray:
+        """The 64-bin frequency grid for one symbol: data + scrambled pilots.
+
+        Args:
+            data_symbols: 48 complex constellation points.
+            symbol_index: Index into the pilot polarity sequence (the SIGNAL
+                symbol is index 0 in 802.11; data symbols continue from 1).
+        """
+        data_symbols = np.asarray(data_symbols, dtype=complex).ravel()
+        require(
+            data_symbols.size == N_DATA_SUBCARRIERS,
+            f"need {N_DATA_SUBCARRIERS} data symbols, got {data_symbols.size}",
+        )
+        grid = np.zeros(FFT_SIZE, dtype=complex)
+        grid[_DATA_BINS] = data_symbols
+        polarity = PILOT_POLARITY[symbol_index % len(PILOT_POLARITY)]
+        grid[_PILOT_BINS] = PILOT_VALUES * polarity
+        return grid
+
+    def modulate_symbol(self, data_symbols: np.ndarray, symbol_index: int = 0) -> np.ndarray:
+        """Build one OFDM symbol (80 samples) from 48 data symbols."""
+        grid = self.symbol_grid(data_symbols, symbol_index)
+        time = np.fft.ifft(grid) * np.sqrt(FFT_SIZE)
+        return np.concatenate([time[-CP_LENGTH:], time])
+
+    def modulate_frame(self, data_symbols: np.ndarray, first_symbol_index: int = 0) -> np.ndarray:
+        """Concatenate many OFDM symbols; ``data_symbols`` is (n_sym, 48)."""
+        data_symbols = np.asarray(data_symbols, dtype=complex)
+        require(data_symbols.ndim == 2, "expected a (n_symbols, 48) array")
+        chunks = [
+            self.modulate_symbol(row, first_symbol_index + i)
+            for i, row in enumerate(data_symbols)
+        ]
+        return np.concatenate(chunks) if chunks else np.zeros(0, dtype=complex)
+
+    def modulate_grid(self, grid: np.ndarray) -> np.ndarray:
+        """Modulate a raw 64-bin frequency grid (used for training symbols)."""
+        grid = np.asarray(grid, dtype=complex).ravel()
+        require(grid.size == FFT_SIZE, "grid must have 64 bins")
+        time = np.fft.ifft(grid) * np.sqrt(FFT_SIZE)
+        return np.concatenate([time[-CP_LENGTH:], time])
+
+
+class OfdmDemodulator:
+    """Strip CP, FFT, equalize and phase-track received OFDM symbols."""
+
+    def __init__(self):
+        self.fft_size = FFT_SIZE
+        self.cp_length = CP_LENGTH
+
+    def fft_symbol(self, samples: np.ndarray) -> np.ndarray:
+        """FFT one 80-sample OFDM symbol to the 64-bin frequency grid."""
+        samples = np.asarray(samples, dtype=complex).ravel()
+        require(samples.size == SYMBOL_LENGTH, f"need {SYMBOL_LENGTH} samples")
+        return np.fft.fft(samples[CP_LENGTH:]) / np.sqrt(FFT_SIZE)
+
+    def demodulate_symbol(
+        self,
+        samples: np.ndarray,
+        channel: np.ndarray,
+        symbol_index: int = 0,
+        track_phase: bool = True,
+    ) -> EqualizedSymbol:
+        """Equalize one received OFDM symbol.
+
+        Args:
+            samples: 80 time-domain samples (with CP).
+            channel: Complex channel estimate per occupied FFT bin; accepts a
+                full 64-bin array.
+            symbol_index: Pilot polarity index for this symbol.
+            track_phase: Remove pilot-derived common phase error (residual
+                CFO/SFO) before slicing.
+
+        Returns:
+            An :class:`EqualizedSymbol` with equalized data values.
+        """
+        grid = self.fft_symbol(samples)
+        channel = np.asarray(channel, dtype=complex).ravel()
+        require(channel.size == FFT_SIZE, "channel estimate must cover 64 bins")
+
+        polarity = PILOT_POLARITY[symbol_index % len(PILOT_POLARITY)]
+        expected_pilots = PILOT_VALUES * polarity
+        raw_pilots = grid[_PILOT_BINS] / _safe(channel[_PILOT_BINS])
+        rotations = raw_pilots * np.conj(expected_pilots)
+        common = np.sum(rotations)
+        common_phase = float(np.angle(common)) if track_phase else 0.0
+
+        data = grid[_DATA_BINS] / _safe(channel[_DATA_BINS])
+        data = data * np.exp(-1j * common_phase)
+
+        # pilot dispersion around the common rotation -> noise estimate
+        aligned = rotations * np.exp(-1j * common_phase)
+        signal_power = float(np.mean(np.abs(aligned)) ** 2)
+        noise_power = float(np.mean(np.abs(aligned - np.mean(aligned)) ** 2))
+        pilot_snr = signal_power / max(noise_power, 1e-12)
+        return EqualizedSymbol(data=data, common_phase=common_phase, pilot_snr=pilot_snr)
+
+
+def _safe(values: np.ndarray, floor: float = 1e-9) -> np.ndarray:
+    """Avoid dividing by (near-)zero channel bins."""
+    values = np.asarray(values, dtype=complex).copy()
+    small = np.abs(values) < floor
+    values[small] = floor
+    return values

@@ -1,0 +1,94 @@
+"""802.11 training sequences and the MegaMIMO sync header.
+
+The short training sequence (STS) supports packet detection and coarse CFO
+estimation; the long training sequence (LTS) supports fine CFO estimation
+and channel estimation.  MegaMIMO's *sync header* — the lead-AP preamble that
+precedes both channel-measurement frames and every joint data frame (§5) —
+is an STS followed by a configurable number of LTS repetitions, which slave
+APs use to directly measure their instantaneous phase offset to the lead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import CP_LENGTH, FFT_SIZE
+from repro.phy.ofdm import subcarrier_to_fft_index
+
+#: Frequency-domain STS definition of IEEE 802.11-2012 Eq. 18-9 (values on
+#: every 4th subcarrier, scaled by sqrt(13/6)).
+_STS_SUBCARRIERS = np.arange(-24, 25, 4)
+_STS_VALUES = np.sqrt(13.0 / 6.0) * np.array([
+    1 + 1j, -1 - 1j, 1 + 1j, -1 - 1j, -1 - 1j, 1 + 1j, 0, -1 - 1j, 1 + 1j,
+    -1 - 1j, 1 + 1j, 1 + 1j, 1 + 1j,
+])
+
+#: Frequency-domain LTS definition of IEEE 802.11-2012 Eq. 18-11.
+LTS_FREQUENCY = np.array([
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1,
+    -1, 1, 1, 1, 1,  # subcarriers -26..-1
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1,
+    1, -1, 1, 1, 1, 1,  # subcarriers 1..26
+], dtype=float)
+_LTS_SUBCARRIERS = np.array([k for k in range(-26, 27) if k != 0])
+
+#: LTS repetitions in the MegaMIMO sync header.  The paper uses "a couple of
+#: symbols" (§1) transmitted by the lead before each data packet.
+SYNC_HEADER_LTS_REPEATS = 2
+
+#: STS short-repetition period in samples (16 at 64-point numerology).
+STS_PERIOD = 16
+
+
+def lts_grid() -> np.ndarray:
+    """The LTS as a full 64-bin frequency grid."""
+    grid = np.zeros(FFT_SIZE, dtype=complex)
+    grid[subcarrier_to_fft_index(_LTS_SUBCARRIERS)] = LTS_FREQUENCY
+    return grid
+
+
+def short_training_sequence(repeats: int = 10) -> np.ndarray:
+    """Time-domain STS: ``repeats`` copies of the 16-sample short symbol.
+
+    802.11 transmits 10 repetitions (two OFDM symbol durations).
+    """
+    grid = np.zeros(FFT_SIZE, dtype=complex)
+    grid[subcarrier_to_fft_index(_STS_SUBCARRIERS)] = _STS_VALUES
+    full = np.fft.ifft(grid) * np.sqrt(FFT_SIZE)
+    short = full[:STS_PERIOD]
+    return np.tile(short, repeats)
+
+
+def long_training_sequence(repeats: int = 2, cp_length: int = 2 * CP_LENGTH) -> np.ndarray:
+    """Time-domain LTS: a double-length guard followed by ``repeats`` symbols.
+
+    802.11 uses a 32-sample guard and two 64-sample LTS copies.
+    """
+    time = np.fft.ifft(lts_grid()) * np.sqrt(FFT_SIZE)
+    body = np.tile(time, repeats)
+    if cp_length:
+        return np.concatenate([body[-cp_length:] if cp_length <= body.size else body, body])
+    return body
+
+
+def sync_header(lts_repeats: int = SYNC_HEADER_LTS_REPEATS) -> np.ndarray:
+    """The MegaMIMO lead-AP sync header: STS + ``lts_repeats`` LTS symbols.
+
+    Slave APs detect this header, estimate the current lead->slave channel
+    from the LTS, and divide by their stored reference channel to obtain the
+    phase correction e^{j(w_lead - w_slave)t} (§5.2b).
+    """
+    return np.concatenate(
+        [short_training_sequence(), long_training_sequence(repeats=lts_repeats)]
+    )
+
+
+def sync_header_length(lts_repeats: int = SYNC_HEADER_LTS_REPEATS) -> int:
+    """Sample length of :func:`sync_header`."""
+    return 10 * STS_PERIOD + 2 * CP_LENGTH + lts_repeats * FFT_SIZE
+
+
+def lts_symbol_offsets(lts_repeats: int = SYNC_HEADER_LTS_REPEATS) -> np.ndarray:
+    """Start offsets (samples) of each 64-sample LTS copy inside the header."""
+    base = 10 * STS_PERIOD + 2 * CP_LENGTH
+    return base + FFT_SIZE * np.arange(lts_repeats)

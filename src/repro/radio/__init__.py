@@ -1,0 +1,12 @@
+"""Radio front-end models: TX/RX chains and trigger-based time sync.
+
+Stands in for the USRP2 hardware of the paper's testbed: digital-to-analog
+sample clocks with ppm skew, transmit power scaling, and the timestamp/
+trigger mechanism used to start joint transmissions at the same instant
+(§10a, building on SourceSync [30] for symbol-level time sync).
+"""
+
+from repro.radio.frontend import RadioFrontend, apply_sfo
+from repro.radio.timing import TriggerTimer, TimingConfig
+
+__all__ = ["RadioFrontend", "apply_sfo", "TriggerTimer", "TimingConfig"]

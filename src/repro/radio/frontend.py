@@ -1,0 +1,72 @@
+"""Transmit/receive front-end: power scaling and sampling-clock skew.
+
+Carrier rotation is applied by the medium (it needs both endpoints'
+oscillators); the front-end owns what a single radio does alone — scaling to
+its power limit and emitting samples on its own, slightly-off DAC clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.oscillator import Oscillator
+from repro.utils.validation import require
+
+
+def apply_sfo(samples: np.ndarray, ppm: float) -> np.ndarray:
+    """Resample a stream emitted by a DAC whose clock is off by ``ppm``.
+
+    A transmitter whose crystal runs fast by ``ppm`` emits its waveform
+    compressed in real time: the receiver (sampling on its own clock) sees
+    x(t * (1 + ppm*1e-6)).  Linear interpolation suffices because the skew
+    is a few parts per million.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    if samples.size == 0 or ppm == 0.0:
+        return samples.copy()
+    ratio = 1.0 + ppm * 1e-6
+    positions = np.arange(samples.size) * ratio
+    positions = np.clip(positions, 0, samples.size - 1)
+    base = np.arange(samples.size)
+    real = np.interp(positions, base, samples.real)
+    imag = np.interp(positions, base, samples.imag)
+    return real + 1j * imag
+
+
+@dataclass
+class RadioFrontend:
+    """One node's radio: its oscillator, power limit and SFO behaviour.
+
+    Attributes:
+        node_id: Medium node identifier.
+        oscillator: The node's free-running oscillator.
+        max_power: Per-node average transmit power constraint (the paper's
+            beamforming normalization k enforces this jointly).
+        model_sfo: Whether to apply sampling-clock skew on transmit.  The
+            carrier-phase effect of the shared crystal is always modelled by
+            the oscillator; this flag adds the (much smaller) sample-timing
+            skew.
+    """
+
+    node_id: str
+    oscillator: Oscillator
+    max_power: float = 1.0
+    model_sfo: bool = True
+
+    def prepare_transmit(self, samples: np.ndarray, enforce_power: bool = True) -> np.ndarray:
+        """Apply power limiting and DAC clock skew to outgoing samples."""
+        samples = np.asarray(samples, dtype=complex)
+        if enforce_power and samples.size:
+            power = float(np.mean(np.abs(samples) ** 2))
+            if power > self.max_power:
+                samples = samples * np.sqrt(self.max_power / power)
+        if self.model_sfo:
+            samples = apply_sfo(samples, self.oscillator.ppm_offset)
+        return samples
+
+    def average_power(self, samples: np.ndarray) -> float:
+        samples = np.asarray(samples, dtype=complex)
+        require(samples.size > 0, "no samples")
+        return float(np.mean(np.abs(samples) ** 2))

@@ -1,0 +1,48 @@
+"""Trigger-based time synchronization (SourceSync [30] stand-in).
+
+The paper's USRP implementation has the lead AP emit a trigger; every slave
+logs the trigger timestamp, adds a fixed turnaround delay t_delta = 150 us,
+and transmits at that instant (§10a).  SourceSync gets residual timing error
+down to "a few nanoseconds" — far inside the 1.6 us cyclic prefix at 10 MHz
+— so timing error shows up only as a per-AP linear phase across subcarriers
+that channel measurement absorbs (§5.2, footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import TRIGGER_TURNAROUND_S
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TimingConfig:
+    """Timing-synchronization quality parameters.
+
+    Attributes:
+        turnaround_s: Fixed delay between the lead trigger and the joint
+            transmission start (150 us in the paper's implementation).
+        jitter_std_s: Residual per-node timing error of the SourceSync-style
+            scheme (a few nanoseconds).
+    """
+
+    turnaround_s: float = TRIGGER_TURNAROUND_S
+    jitter_std_s: float = 5e-9
+
+
+class TriggerTimer:
+    """Computes when each node actually starts its joint transmission."""
+
+    def __init__(self, config: TimingConfig = None, rng=None):
+        self.config = config or TimingConfig()
+        self._rng = ensure_rng(rng)
+
+    def joint_start_time(self, trigger_time: float) -> float:
+        """Nominal joint transmission start for a trigger at ``trigger_time``."""
+        return trigger_time + self.config.turnaround_s
+
+    def node_start_time(self, trigger_time: float) -> float:
+        """Actual start time for one node, including its timing jitter."""
+        jitter = float(self._rng.normal(0.0, self.config.jitter_std_s))
+        return self.joint_start_time(trigger_time) + jitter

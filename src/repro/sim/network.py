@@ -1,0 +1,107 @@
+"""Scenario builder: geometry + path loss -> link SNR maps and systems.
+
+Bridges the physical room model to the two simulation paths: it samples a
+conference-room topology (Fig. 5 style), computes per-link SNRs from the
+path-loss model, and can instantiate either a frequency-domain channel
+tensor or a full sample-level :class:`~repro.core.system.MegaMimoSystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.geometry import ConferenceRoom, Topology
+from repro.channel.models import ChannelModel, RicianChannel
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.core.system import MegaMimoSystem, SystemConfig
+from repro.sim.fastsim import build_channel_tensor
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+
+@dataclass
+class ScenarioConfig:
+    """Physical scenario parameters.
+
+    Attributes:
+        n_aps: Access points on the shared channel.
+        n_clients: Clients in the room.
+        tx_power_dbm: AP transmit power.
+        noise_floor_dbm: Receiver noise floor (10 MHz channel default).
+        room: Room geometry (defaults to the paper-like conference room).
+        pathloss: Large-scale propagation model.
+        seed: RNG seed.
+    """
+
+    n_aps: int
+    n_clients: int
+    tx_power_dbm: float = 10.0
+    noise_floor_dbm: float = -92.0
+    room: Optional[ConferenceRoom] = None
+    pathloss: Optional[LogDistancePathLoss] = None
+    seed: Optional[int] = None
+
+
+class NetworkScenario:
+    """One sampled deployment: topology plus derived link SNRs."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self._rng = ensure_rng(config.seed)
+        self.room = config.room or ConferenceRoom()
+        self.pathloss = config.pathloss or LogDistancePathLoss()
+        self.topology: Topology = self.room.sample_topology(
+            config.n_aps, config.n_clients, rng=self._rng
+        )
+        distances = self.topology.distances()
+        loss_db = self.pathloss.loss_db(distances, rng=self._rng)
+        #: (n_clients, n_aps) link SNRs in dB
+        self.client_ap_snr_db = (
+            config.tx_power_dbm - loss_db - config.noise_floor_dbm
+        )
+
+    @property
+    def n_aps(self) -> int:
+        return self.config.n_aps
+
+    @property
+    def n_clients(self) -> int:
+        return self.config.n_clients
+
+    def best_ap_snr_db(self) -> np.ndarray:
+        """(n_clients,) SNR to each client's strongest AP."""
+        return np.max(self.client_ap_snr_db, axis=1)
+
+    def channel_tensor(self, model: ChannelModel = None, n_bins: int = 52) -> np.ndarray:
+        """(n_bins, n_clients, n_aps) frequency-domain channels."""
+        return build_channel_tensor(
+            self.client_ap_snr_db,
+            rng=self._rng,
+            model=model or RicianChannel(k_factor=7.0),
+            n_bins=n_bins,
+        )
+
+    def sample_level_system(self, **config_overrides) -> MegaMimoSystem:
+        """A full sample-level system with these link SNRs."""
+        cfg = SystemConfig(
+            n_aps=self.config.n_aps,
+            n_clients=self.config.n_clients,
+            seed=self.config.seed,
+            **config_overrides,
+        )
+        return MegaMimoSystem.create(cfg, self.client_ap_snr_db)
+
+    def clip_snrs_to_band(self, band) -> None:
+        """Force every client's best-AP SNR into a band (paper placement).
+
+        Shifts each client's row so its strongest link lands uniformly in
+        the band, mimicking re-placing the client until its SNR qualifies.
+        """
+        lo, hi = band
+        require(hi > lo, "band must be (low, high)")
+        best = self.best_ap_snr_db()
+        targets = self._rng.uniform(lo, hi, self.n_clients)
+        self.client_ap_snr_db += (targets - best)[:, None]

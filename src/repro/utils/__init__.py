@@ -1,0 +1,23 @@
+"""Shared helpers: dB conversions, RNG plumbing, validation."""
+
+from repro.utils.units import (
+    db_to_linear,
+    linear_to_db,
+    dbm_to_watts,
+    watts_to_dbm,
+    wrap_phase,
+    ppm_to_hz,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "wrap_phase",
+    "ppm_to_hz",
+    "ensure_rng",
+    "require",
+]

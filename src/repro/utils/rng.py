@@ -1,0 +1,31 @@
+"""Random-number-generator plumbing.
+
+All stochastic components accept either a seed, an existing
+``numpy.random.Generator`` or ``None`` (fresh entropy), so experiments can be
+made exactly reproducible by threading a single seed through the stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(rng=None) -> np.random.Generator:
+    """Coerce ``rng`` into a ``numpy.random.Generator``.
+
+    Accepts ``None`` (new unseeded generator), an integer seed, or an
+    existing generator (returned unchanged so callers can share streams).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, an int seed or a Generator, got {type(rng)!r}")
+
+
+def complex_normal(rng: np.random.Generator, shape, scale: float = 1.0) -> np.ndarray:
+    """Draw circularly-symmetric complex Gaussians with E[|x|^2] = scale**2."""
+    sigma = scale / np.sqrt(2.0)
+    return rng.normal(0.0, sigma, shape) + 1j * rng.normal(0.0, sigma, shape)

@@ -1,0 +1,51 @@
+"""Unit conversions used across the PHY and channel models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def db_to_linear(db):
+    """Convert a power ratio from decibels to linear scale."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+
+
+def linear_to_db(linear):
+    """Convert a linear power ratio to decibels.
+
+    Zero or negative inputs map to ``-inf`` rather than raising, matching
+    the convention of signal-strength meters.
+    """
+    linear = np.asarray(linear, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(linear)
+
+
+def dbm_to_watts(dbm):
+    """Convert power in dBm to watts."""
+    return np.power(10.0, (np.asarray(dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts):
+    """Convert power in watts to dBm."""
+    watts = np.asarray(watts, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(watts) + 30.0
+
+
+def wrap_phase(phase):
+    """Wrap an angle (radians) into (-pi, pi]."""
+    phase = np.asarray(phase, dtype=float)
+    wrapped = np.angle(np.exp(1j * phase))
+    if np.isscalar(phase) or phase.ndim == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def ppm_to_hz(ppm, reference_hz):
+    """Convert a parts-per-million clock offset into an absolute Hz offset.
+
+    An 802.11 oscillator at 2.4 GHz with a 20 ppm tolerance may be off by
+    up to ``ppm_to_hz(20, 2.4e9) == 48 kHz``.
+    """
+    return float(ppm) * 1e-6 * float(reference_hz)

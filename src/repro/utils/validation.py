@@ -1,0 +1,14 @@
+"""Tiny argument-validation helper used throughout the package."""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds.
+
+    Used at public API boundaries so that misuse fails fast with a clear
+    message instead of surfacing as a numpy broadcasting error deep inside
+    the signal chain.
+    """
+    if not condition:
+        raise ValueError(message)

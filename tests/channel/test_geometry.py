@@ -1,0 +1,77 @@
+"""Conference-room geometry."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import ConferenceRoom, Placement
+
+
+class TestPlacement:
+    def test_distance(self):
+        a = Placement(0.0, 0.0, 0.0)
+        b = Placement(3.0, 4.0, 0.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_includes_height(self):
+        a = Placement(0.0, 0.0, 1.0)
+        b = Placement(0.0, 0.0, 2.6)
+        assert a.distance_to(b) == pytest.approx(1.6)
+
+
+class TestRoom:
+    def test_ap_spots_on_perimeter(self):
+        room = ConferenceRoom(width_m=12.0, depth_m=8.0)
+        for spot in room.ap_spots:
+            on_wall = (
+                spot.x in (0.0, 12.0)
+                or spot.y in (0.0, 8.0)
+                or min(spot.x, 12.0 - spot.x, spot.y, 8.0 - spot.y) < 1e-9
+            )
+            assert on_wall
+            assert spot.z == room.ap_height_m
+
+    def test_client_spots_inside(self):
+        room = ConferenceRoom()
+        for spot in room.client_spots:
+            assert 0 < spot.x < room.width_m
+            assert 0 < spot.y < room.depth_m
+            assert spot.z == room.client_height_m
+
+    def test_spot_counts(self):
+        room = ConferenceRoom(n_ap_spots=14, n_client_spots=24)
+        assert len(room.ap_spots) == 14
+        assert len(room.client_spots) == 24
+
+
+class TestSampling:
+    def test_topology_sizes(self):
+        room = ConferenceRoom()
+        topo = room.sample_topology(10, 10, rng=0)
+        assert topo.n_aps == 10 and topo.n_clients == 10
+
+    def test_no_duplicate_locations(self):
+        room = ConferenceRoom()
+        topo = room.sample_topology(10, 10, rng=1)
+        ap_coords = {(p.x, p.y) for p in topo.ap_locations}
+        assert len(ap_coords) == 10
+
+    def test_distances_shape(self):
+        room = ConferenceRoom()
+        topo = room.sample_topology(4, 7, rng=2)
+        assert topo.distances().shape == (7, 4)
+
+    def test_distances_positive(self):
+        room = ConferenceRoom()
+        topo = room.sample_topology(5, 5, rng=3)
+        assert np.all(topo.distances() > 0)
+
+    def test_runs_are_random(self):
+        room = ConferenceRoom()
+        a = room.sample_topology(5, 5, rng=4)
+        b = room.sample_topology(5, 5, rng=5)
+        assert a.ap_locations != b.ap_locations or a.client_locations != b.client_locations
+
+    def test_too_many_nodes_rejected(self):
+        room = ConferenceRoom(n_ap_spots=4)
+        with pytest.raises(ValueError):
+            room.sample_topology(5, 2, rng=0)

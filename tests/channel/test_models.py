@@ -1,0 +1,119 @@
+"""Fading models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.models import (
+    FlatRayleighChannel,
+    LinkChannel,
+    MultipathChannel,
+    RicianChannel,
+    random_channel_matrix,
+)
+
+
+class TestLinkChannel:
+    def test_gain_is_tap_power(self):
+        link = LinkChannel(taps=np.array([3.0, 4.0j]))
+        assert link.gain == pytest.approx(25.0)
+
+    def test_frequency_response_single_tap_flat(self):
+        link = LinkChannel(taps=np.array([2.0 + 1j]))
+        h = link.frequency_response()
+        assert np.allclose(h, 2.0 + 1j)
+
+    def test_apply_convolves(self):
+        link = LinkChannel(taps=np.array([1.0, 0.5]))
+        out = link.apply(np.array([1.0, 0.0]))
+        assert np.allclose(out, [1.0, 0.5, 0.0])
+
+    def test_response_longer_than_fft_rejected(self):
+        link = LinkChannel(taps=np.ones(100))
+        with pytest.raises(ValueError):
+            link.frequency_response(64)
+
+
+class TestFlatRayleigh:
+    def test_average_gain(self):
+        rng = np.random.default_rng(0)
+        model = FlatRayleighChannel()
+        gains = [model.realize(4.0, rng=rng).gain for _ in range(4000)]
+        assert np.mean(gains) == pytest.approx(4.0, rel=0.1)
+
+    def test_single_tap(self):
+        assert FlatRayleighChannel().realize(1.0, rng=0).taps.size == 1
+
+    def test_phase_uniform(self):
+        rng = np.random.default_rng(1)
+        model = FlatRayleighChannel()
+        phases = [np.angle(model.realize(1.0, rng=rng).taps[0]) for _ in range(2000)]
+        # circular mean should be near zero magnitude for uniform phases
+        assert abs(np.mean(np.exp(1j * np.array(phases)))) < 0.1
+
+
+class TestRician:
+    def test_average_gain(self):
+        rng = np.random.default_rng(2)
+        model = RicianChannel(k_factor=5.0)
+        gains = [model.realize(2.0, rng=rng).gain for _ in range(4000)]
+        assert np.mean(gains) == pytest.approx(2.0, rel=0.1)
+
+    def test_high_k_concentrates_magnitude(self):
+        rng = np.random.default_rng(3)
+        spread_low = np.std(
+            [RicianChannel(k_factor=0.5).realize(1.0, rng=rng).gain for _ in range(2000)]
+        )
+        spread_high = np.std(
+            [RicianChannel(k_factor=50.0).realize(1.0, rng=rng).gain for _ in range(2000)]
+        )
+        assert spread_high < spread_low / 2
+
+
+class TestMultipath:
+    def test_tap_count(self):
+        link = MultipathChannel(n_taps=6).realize(1.0, rng=0)
+        assert link.taps.size == 6
+
+    def test_average_gain(self):
+        rng = np.random.default_rng(4)
+        model = MultipathChannel(n_taps=4, decay_per_tap_db=3.0)
+        gains = [model.realize(3.0, rng=rng).gain for _ in range(4000)]
+        assert np.mean(gains) == pytest.approx(3.0, rel=0.1)
+
+    def test_exponential_decay_profile(self):
+        rng = np.random.default_rng(5)
+        model = MultipathChannel(n_taps=4, decay_per_tap_db=6.0)
+        powers = np.zeros(4)
+        for _ in range(3000):
+            powers += np.abs(model.realize(1.0, rng=rng).taps) ** 2
+        ratios = powers[:-1] / powers[1:]
+        assert np.all(ratios > 2.0)  # ~4x (6 dB) per tap
+
+    def test_frequency_selectivity(self):
+        link = MultipathChannel(n_taps=8, decay_per_tap_db=1.0).realize(1.0, rng=6)
+        h = np.abs(link.frequency_response())
+        assert h.max() / max(h.min(), 1e-12) > 1.5
+
+    def test_rician_first_tap(self):
+        rng = np.random.default_rng(7)
+        model = MultipathChannel(n_taps=3, rician_k_first_tap=20.0)
+        first_tap_gain = np.mean(
+            [abs(model.realize(1.0, rng=rng).taps[0]) ** 2 for _ in range(2000)]
+        )
+        profile_share = 1.0 / (1 + 10 ** -0.3 + 10 ** -0.6)
+        assert first_tap_gain == pytest.approx(profile_share, rel=0.15)
+
+    def test_zero_taps_rejected(self):
+        with pytest.raises(ValueError):
+            MultipathChannel(n_taps=0).realize(1.0, rng=0)
+
+
+class TestRandomMatrix:
+    def test_shape(self):
+        h = random_channel_matrix(3, 5, rng=0)
+        assert h.shape == (3, 5)
+
+    def test_unit_average_gain(self):
+        rng = np.random.default_rng(8)
+        h = random_channel_matrix(40, 40, rng=rng)
+        assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, rel=0.1)

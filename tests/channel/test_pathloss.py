@@ -1,0 +1,50 @@
+"""Path-loss model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import LogDistancePathLoss
+
+
+class TestLogDistance:
+    def test_free_space_reference_at_2_4ghz(self):
+        model = LogDistancePathLoss(carrier_frequency=2.4e9)
+        # classic number: ~40 dB at 1 m for 2.4 GHz
+        assert model.free_space_reference_db() == pytest.approx(40.0, abs=0.5)
+
+    def test_exponent_slope(self):
+        model = LogDistancePathLoss(exponent=3.0, shadowing_sigma_db=0.0)
+        l1 = model.loss_db(1.0)
+        l10 = model.loss_db(10.0)
+        assert l10 - l1 == pytest.approx(30.0)
+
+    def test_monotonic_without_shadowing(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=0.0)
+        d = np.linspace(1.0, 20.0, 50)
+        losses = model.loss_db(d)
+        assert np.all(np.diff(losses) > 0)
+
+    def test_shadowing_adds_spread(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=4.0)
+        rng = np.random.default_rng(0)
+        losses = model.loss_db(np.full(3000, 5.0), rng=rng)
+        assert np.std(losses) == pytest.approx(4.0, rel=0.1)
+
+    def test_shadowing_can_be_disabled_per_call(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=4.0)
+        a = model.loss_db(5.0, include_shadowing=False)
+        b = model.loss_db(5.0, include_shadowing=False)
+        assert a == b
+
+    def test_below_reference_clamped(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=0.0)
+        assert model.loss_db(0.1) == model.loss_db(1.0)
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss().loss_db(0.0)
+
+    def test_propagation_delay(self):
+        model = LogDistancePathLoss()
+        # ~33 ns for 10 m — "tens of nanoseconds" (§5.2 footnote 3)
+        assert model.propagation_delay_s(10.0) == pytest.approx(33.4e-9, rel=0.01)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import MegaMimoSystem, SystemConfig
+from repro.channel.models import RicianChannel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def sounded_system():
+    """A small, well-conditioned 2x2 system with sounding already run.
+
+    Session-scoped because construction + sounding is the expensive part;
+    tests must not mutate its stored channel state.
+    """
+    config = SystemConfig(n_aps=2, n_clients=2, seed=4)
+    system = MegaMimoSystem.create(
+        config, client_snr_db=25.0, channel_model=RicianChannel(k_factor=7.0)
+    )
+    system.run_sounding(0.0)
+    return system

@@ -1,0 +1,97 @@
+"""802.11n compatibility sounding (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compat80211n import Compat80211nSounder, stitching_phase_error
+from repro.core.narrowband import NarrowbandNetwork
+
+
+def build_network(seed=0, max_ppm=2.0):
+    """The Fig. 4 scenario: lead AP (L1, L2), slave AP (S1, S2), client (R1, R2)."""
+    net = NarrowbandNetwork(rng=seed)
+    net.add_device("lead", ["L1", "L2"], max_ppm=max_ppm)
+    net.add_device("slave", ["S1", "S2"], max_ppm=max_ppm)
+    net.add_device("client", ["R1", "R2"], max_ppm=max_ppm)
+    net.randomize_channels(["L1", "L2", "S1", "S2"], ["R1", "R2", "S1"])
+    return net
+
+
+TX = ["L1", "L2", "S1", "S2"]
+RX = ["R1", "R2"]
+
+
+class TestStitching:
+    def test_noiseless_stitch_matches_genie(self):
+        net = build_network(seed=1)
+        sounder = Compat80211nSounder(net, "L1", client_snr_db=None, ap_snr_db=None)
+        est = sounder.measure(TX, RX, start_time=0.0, packet_spacing_s=2e-3)
+        truth = sounder.true_snapshot(TX, RX, est.reference_time)
+        errors = stitching_phase_error(est, truth)
+        assert np.max(errors) < 1e-6
+
+    def test_noisy_stitch_small_error(self):
+        net = build_network(seed=2)
+        sounder = Compat80211nSounder(net, "L1", client_snr_db=30.0, ap_snr_db=35.0)
+        est = sounder.measure(TX, RX)
+        truth = sounder.true_snapshot(TX, RX, est.reference_time)
+        errors = stitching_phase_error(est, truth)
+        assert np.median(errors) < 0.1
+
+    def test_naive_measurement_drifts(self):
+        """Without the reference-antenna trick, oscillator drift between
+        packets corrupts the snapshot — the §6.2 motivation."""
+        stitched_err, naive_err = [], []
+        for seed in range(8):
+            net = build_network(seed=seed, max_ppm=2.0)
+            sounder = Compat80211nSounder(net, "L1", client_snr_db=None, ap_snr_db=None)
+            est = sounder.measure(TX, RX, packet_spacing_s=2e-3)
+            naive = sounder.naive_measure(TX, RX, packet_spacing_s=2e-3)
+            truth = sounder.true_snapshot(TX, RX, est.reference_time)
+            stitched_err.append(np.max(stitching_phase_error(est, truth)))
+            naive_err.append(np.max(stitching_phase_error(naive, truth)))
+        assert np.median(naive_err) > 10 * max(np.median(stitched_err), 1e-9)
+
+    def test_lead_antennas_need_no_slave_reference(self):
+        """L2 shares the lead's oscillator: its correction uses only the
+        lead<->client drift."""
+        net = build_network(seed=3)
+        sounder = Compat80211nSounder(net, "L1", client_snr_db=None, ap_snr_db=None)
+        est = sounder.measure(["L1", "L2"], RX)
+        truth = sounder.true_snapshot(["L1", "L2"], RX, est.reference_time)
+        assert np.max(stitching_phase_error(est, truth)) < 1e-6
+
+    def test_column_accessor(self):
+        net = build_network(seed=4)
+        sounder = Compat80211nSounder(net, "L1", client_snr_db=None, ap_snr_db=None)
+        est = sounder.measure(TX, RX)
+        assert est.column("S1").shape == (2,)
+
+    def test_reference_must_be_included(self):
+        net = build_network(seed=5)
+        sounder = Compat80211nSounder(net, "L1")
+        with pytest.raises(ValueError):
+            sounder.measure(["L2", "S1"], RX)
+
+    def test_longer_spacing_still_works(self):
+        """The whole point: stitching works regardless of elapsed time,
+        because drift is measured, not extrapolated."""
+        net = build_network(seed=6)
+        sounder = Compat80211nSounder(net, "L1", client_snr_db=None, ap_snr_db=None)
+        est = sounder.measure(TX, RX, packet_spacing_s=50e-3)
+        truth = sounder.true_snapshot(TX, RX, est.reference_time)
+        assert np.max(stitching_phase_error(est, truth)) < 1e-6
+
+
+class TestBeamformingFromStitched:
+    def test_zf_from_stitched_estimate_nulls_cross_client(self):
+        from repro.core.beamforming import zero_forcing_precoder
+
+        net = build_network(seed=7)
+        sounder = Compat80211nSounder(net, "L1", client_snr_db=None, ap_snr_db=None)
+        est = sounder.measure(TX, RX)
+        w, k = zero_forcing_precoder(est.channel)
+        truth = sounder.true_snapshot(TX, RX, est.reference_time)
+        eff = truth @ w
+        off_diag = np.abs(eff - np.diag(np.diag(eff)))
+        assert np.max(off_diag) < 1e-6 * k

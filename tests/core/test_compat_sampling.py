@@ -1,0 +1,120 @@
+"""Sample-level §6 sounding (HT-LTF packets + stitching)."""
+
+import numpy as np
+import pytest
+
+from repro import MegaMimoSystem, SystemConfig, get_mcs
+from repro.channel.models import RicianChannel
+from repro.core.compat_sampling import (
+    SampleLevelCompatSounder,
+    stitched_vs_genie_phase_error,
+)
+from repro.phy.htltf import HTLTF_LENGTH, estimate_two_streams, htltf_waveforms
+from repro.phy.preamble import lts_grid
+
+
+class TestHtLtf:
+    def test_waveform_shape(self):
+        w = htltf_waveforms()
+        assert w.shape == (2, HTLTF_LENGTH)
+
+    def test_streams_separate_cleanly(self):
+        w = htltf_waveforms()
+        h_true = (0.8 + 0.3j, -0.2 + 1.1j)
+        rx = h_true[0] * w[0] + h_true[1] * w[1]
+        h0, h1 = estimate_two_streams(rx)
+        occupied = np.abs(lts_grid()) > 0
+        assert np.allclose(h0[occupied], h_true[0], atol=1e-9)
+        assert np.allclose(h1[occupied], h_true[1], atol=1e-9)
+
+    def test_single_stream_leaks_nothing(self):
+        w = htltf_waveforms()
+        rx = 1.5 * w[0]  # only stream 0 on air
+        h0, h1 = estimate_two_streams(rx)
+        occupied = np.abs(lts_grid()) > 0
+        assert np.allclose(h1[occupied], 0.0, atol=1e-9)
+
+    def test_short_capture_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_two_streams(np.zeros(10, dtype=complex))
+
+
+def make_4x4(seed):
+    config = SystemConfig(
+        n_aps=2, n_clients=2, antennas_per_ap=2, antennas_per_client=2, seed=seed
+    )
+    return MegaMimoSystem.create(
+        config, client_snr_db=28.0, channel_model=RicianChannel(k_factor=10.0)
+    )
+
+
+class TestCompatSounding:
+    def test_snapshot_matches_genie(self):
+        system = make_4x4(seed=5)
+        SampleLevelCompatSounder(system).measure(0.0)
+        errors = stitched_vs_genie_phase_error(system)
+        assert np.max(errors) < 0.2
+        assert np.median(errors[errors > 0]) < 0.1
+
+    def test_four_streams_decode_after_compat_sounding(self):
+        """The paper's §6 pitch end to end: stock-format soundings, then a
+        4-stream joint transmission that every client antenna decodes."""
+        system = make_4x4(seed=9)
+        SampleLevelCompatSounder(system).measure(0.0)
+        payloads = [bytes([65 + i]) * 25 for i in range(4)]
+        report = system.joint_transmit(payloads, get_mcs(1), start_time=8e-3)
+        assert [r.decoded.payload for r in report.receptions] == payloads
+
+    def test_repeated_data_packets(self):
+        system = make_4x4(seed=13)
+        SampleLevelCompatSounder(system).measure(0.0)
+        ok = 0
+        for p in range(3):
+            report = system.joint_transmit(
+                [bytes([p * 4 + i]) * 20 for i in range(4)],
+                get_mcs(1),
+                start_time=8e-3 + p * 2e-3,
+            )
+            ok += sum(r.decoded.crc_ok for r in report.receptions)
+        assert ok >= 11
+
+    def test_packet_count_is_one_per_non_reference_antenna(self):
+        system = make_4x4(seed=17)
+        report = SampleLevelCompatSounder(system).measure(0.0)
+        assert report.n_packets == 3  # L2, S1, S2
+
+    def test_agrees_with_interleaved_sounding(self):
+        """§5.1 interleaved sounding and §6 stitched sounding must install
+        equivalent snapshots (up to estimation noise)."""
+        tensors = {}
+        for mode in ("interleaved", "compat"):
+            system = make_4x4(seed=21)
+            if mode == "interleaved":
+                system.run_sounding(0.0)
+            else:
+                SampleLevelCompatSounder(system).measure(0.0)
+            tensors[mode] = system._channel_tensor.copy()
+        occupied = np.abs(lts_grid()) > 0
+        a = tensors["interleaved"][occupied]
+        b = tensors["compat"][occupied]
+        # same medium, same seeds -> same true channels; phase epochs differ
+        # per row by an unobservable receiver phase, so compare row-relative
+        for ri in range(a.shape[1]):
+            rel_a = np.angle(np.mean(a[:, ri, :], axis=0) / np.mean(a[:, ri, 0]))
+            rel_b = np.angle(np.mean(b[:, ri, :], axis=0) / np.mean(b[:, ri, 0]))
+            from repro.utils.units import wrap_phase
+
+            assert np.max(np.abs(wrap_phase(rel_a - rel_b))) < 0.25
+
+    def test_single_antenna_devices_also_work(self):
+        # seed 26 draws a well-conditioned 3x3 topology (k^2 ~ 20 dB);
+        # ill-conditioned draws legitimately push per-stream SINR below the
+        # MCS floor regardless of the sounding scheme
+        config = SystemConfig(n_aps=3, n_clients=3, seed=26)
+        system = MegaMimoSystem.create(
+            config, client_snr_db=28.0, channel_model=RicianChannel(k_factor=10.0)
+        )
+        SampleLevelCompatSounder(system).measure(0.0)
+        payloads = [bytes([i]) * 20 for i in range(3)]
+        report = system.joint_transmit(payloads, get_mcs(1), start_time=8e-3)
+        assert sum(r.decoded.crc_ok for r in report.receptions) == 3

@@ -1,0 +1,97 @@
+"""CSI feedback quantization."""
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import (
+    CsiFeedbackCodec,
+    apply_feedback_quantization,
+    feedback_distortion_db,
+    quantize_csi,
+)
+from repro.sim.fastsim import build_channel_tensor, joint_zf_sinr_db
+
+
+class TestQuantizeCsi:
+    def test_high_precision_is_identity(self):
+        rng = np.random.default_rng(0)
+        ch = rng.normal(size=(8, 2)) + 1j * rng.normal(size=(8, 2))
+        assert np.array_equal(quantize_csi(ch, 16), ch)
+
+    def test_error_shrinks_with_bits(self):
+        rng = np.random.default_rng(1)
+        ch = rng.normal(size=(52, 4)) + 1j * rng.normal(size=(52, 4))
+        errors = [
+            np.mean(np.abs(quantize_csi(ch, b) - ch) ** 2) for b in (3, 6, 10)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_distortion_gains_6db_per_bit(self):
+        rng = np.random.default_rng(2)
+        ch = rng.normal(size=(52, 4)) + 1j * rng.normal(size=(52, 4))
+        d6 = feedback_distortion_db(ch, 6)
+        d8 = feedback_distortion_db(ch, 8)
+        assert d8 - d6 == pytest.approx(12.0, abs=3.0)
+
+    def test_zero_channel(self):
+        ch = np.zeros((4, 2), dtype=complex)
+        assert np.array_equal(quantize_csi(ch, 4), ch)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_csi(np.ones((2, 2), dtype=complex), 0)
+
+
+class TestCodec:
+    def test_report_size(self):
+        codec = CsiFeedbackCodec(bits_per_component=8, header_bits=128)
+        # 52 subcarriers x 4 antennas x 16 bits + header
+        assert codec.report_bits(52, 4) == 128 + 52 * 4 * 16
+
+    def test_airtime_scales_with_precision(self):
+        fine = CsiFeedbackCodec(bits_per_component=10)
+        coarse = CsiFeedbackCodec(bits_per_component=4)
+        assert fine.airtime_s(52, 4) > coarse.airtime_s(52, 4)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(3)
+        report = rng.normal(size=(52, 4)) + 1j * rng.normal(size=(52, 4))
+        codec = CsiFeedbackCodec(bits_per_component=8)
+        recon, airtime = codec.roundtrip(report)
+        assert recon.shape == report.shape
+        assert airtime > 0
+        assert feedback_distortion_db(report, 8) > 30.0
+
+
+class TestBeamformingImpact:
+    def test_8bit_feedback_barely_hurts(self):
+        """Standard 8-bit CSI keeps quantization ~45 dB below the channel —
+        invisible next to estimation noise."""
+        rng = np.random.default_rng(4)
+        ch = build_channel_tensor(np.full((3, 3), 20.0), rng)
+        quantized = apply_feedback_quantization(ch, 8)
+        clean = np.mean(joint_zf_sinr_db(ch))
+        with_q = np.mean(joint_zf_sinr_db(ch, est_channels=quantized))
+        assert abs(clean - with_q) < 1.0
+
+    def test_3bit_feedback_hurts(self):
+        rng = np.random.default_rng(5)
+        drops = []
+        for _ in range(5):
+            ch = build_channel_tensor(np.full((3, 3), 20.0), rng)
+            quantized = apply_feedback_quantization(ch, 3)
+            clean = np.mean(joint_zf_sinr_db(ch))
+            with_q = np.mean(joint_zf_sinr_db(ch, est_channels=quantized))
+            drops.append(clean - with_q)
+        assert np.mean(drops) > 2.0
+
+    def test_quantization_is_per_client_report(self):
+        """Each client's report is scaled independently, so a strong client
+        doesn't coarsen a weak client's quantization grid."""
+        rng = np.random.default_rng(6)
+        ch = build_channel_tensor(np.array([[30.0, 30.0], [0.0, 0.0]]), rng)
+        quantized = apply_feedback_quantization(ch, 6)
+        weak_err = np.mean(np.abs(quantized[:, 1, :] - ch[:, 1, :]) ** 2)
+        weak_sig = np.mean(np.abs(ch[:, 1, :]) ** 2)
+        # the weak client still gets ~30 dB quantization SNR on its own row
+        assert 10 * np.log10(weak_sig / weak_err) > 25.0

@@ -1,0 +1,82 @@
+"""Narrowband network abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.channel.oscillator import Oscillator, OscillatorConfig
+from repro.core.narrowband import NarrowbandNetwork
+
+
+def fixed_osc(ppm, phase=0.0):
+    return Oscillator(
+        OscillatorConfig(ppm_offset=ppm, phase_noise_rad2_per_s=0.0, initial_phase=phase)
+    )
+
+
+class TestConstruction:
+    def test_antennas_share_device_oscillator(self):
+        net = NarrowbandNetwork(rng=0)
+        net.add_device("ap", ["a1", "a2"], oscillator=fixed_osc(1.0))
+        assert net.device_of("a1") == "ap"
+        assert net.oscillator_of_device("ap").ppm_offset == 1.0
+
+    def test_duplicate_device_rejected(self):
+        net = NarrowbandNetwork(rng=0)
+        net.add_device("ap", ["a1"])
+        with pytest.raises(ValueError):
+            net.add_device("ap", ["a2"])
+
+    def test_duplicate_antenna_rejected(self):
+        net = NarrowbandNetwork(rng=0)
+        net.add_device("ap", ["a1"])
+        with pytest.raises(ValueError):
+            net.add_device("ap2", ["a1"])
+
+    def test_randomize_channels(self):
+        net = NarrowbandNetwork(rng=1)
+        net.add_device("ap", ["a1", "a2"])
+        net.add_device("cl", ["r1"])
+        net.randomize_channels(["a1", "a2"], ["r1"], average_gain=4.0)
+        assert net.true_channel("a1", "r1", 0.0) != net.true_channel("a2", "r1", 0.0)
+
+
+class TestPhysics:
+    def test_rotation_from_relative_cfo(self):
+        net = NarrowbandNetwork(rng=2)
+        net.add_device("tx", ["t"], oscillator=fixed_osc(1.0))  # ~2.412 kHz
+        net.add_device("rx", ["r"], oscillator=fixed_osc(0.0))
+        net.set_channel("t", "r", 1.0 + 0j)
+        df = net.oscillator_of_device("tx").frequency_offset_hz
+        t = 1e-4
+        got = net.true_channel("t", "r", t)
+        assert np.angle(got) == pytest.approx(
+            np.angle(np.exp(2j * np.pi * df * t)), abs=1e-9
+        )
+
+    def test_same_device_antennas_rotate_together(self):
+        net = NarrowbandNetwork(rng=3)
+        net.add_device("ap", ["a1", "a2"], oscillator=fixed_osc(2.0))
+        net.add_device("cl", ["r"], oscillator=fixed_osc(0.0))
+        net.set_channel("a1", "r", 1.0 + 0j)
+        net.set_channel("a2", "r", 1.0j)
+        t = 5e-4
+        rel0 = net.true_channel("a2", "r", 0.0) / net.true_channel("a1", "r", 0.0)
+        rel_t = net.true_channel("a2", "r", t) / net.true_channel("a1", "r", t)
+        assert rel_t == pytest.approx(rel0)
+
+    def test_noiseless_observation_is_truth(self):
+        net = NarrowbandNetwork(rng=4)
+        net.add_device("tx", ["t"], oscillator=fixed_osc(1.0))
+        net.add_device("rx", ["r"], oscillator=fixed_osc(-1.0))
+        net.set_channel("t", "r", 0.5 + 0.5j)
+        t = 3e-3
+        assert net.observe("t", "r", t, snr_db=None) == net.true_channel("t", "r", t)
+
+    def test_noisy_observation_scales_with_snr(self):
+        net = NarrowbandNetwork(rng=5)
+        net.add_device("tx", ["t"], oscillator=fixed_osc(0.0))
+        net.add_device("rx", ["r"], oscillator=fixed_osc(0.0))
+        net.set_channel("t", "r", 1.0 + 0j)
+        errs_hi = [abs(net.observe("t", "r", 0.0, snr_db=40.0) - 1.0) for _ in range(200)]
+        errs_lo = [abs(net.observe("t", "r", 0.0, snr_db=10.0) - 1.0) for _ in range(200)]
+        assert np.mean(errs_hi) < np.mean(errs_lo) / 5

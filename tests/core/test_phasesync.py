@@ -1,0 +1,138 @@
+"""Distributed phase synchronization (§5.2, §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import FFT_SIZE
+from repro.core.phasesync import (
+    NaiveCfoExtrapolator,
+    PhaseSynchronizer,
+    estimate_header_cfo,
+    estimate_header_channel,
+)
+from repro.phy.cfo import apply_cfo
+from repro.phy.preamble import lts_grid, sync_header
+
+FS = 10e6
+
+
+def received_header(cfo_hz, start_time, channel=1.0 + 0j, noise_sigma=0.0, rng=None):
+    """The lead sync header as a slave would receive it."""
+    hdr = channel * apply_cfo(sync_header(), cfo_hz, FS, start_time=start_time)
+    if noise_sigma > 0:
+        hdr = hdr + noise_sigma * (
+            rng.normal(size=hdr.size) + 1j * rng.normal(size=hdr.size)
+        )
+    return hdr
+
+
+class TestHeaderEstimators:
+    def test_channel_estimate_flat(self):
+        hdr = received_header(0.0, 0.0, channel=0.7 * np.exp(1j * 0.4))
+        est = estimate_header_channel(hdr)
+        occupied = np.abs(lts_grid()) > 0
+        assert np.allclose(est[occupied], 0.7 * np.exp(1j * 0.4), atol=1e-6)
+
+    def test_cfo_estimate_exact_without_noise(self):
+        hdr = received_header(4.2e3, 0.0)
+        assert estimate_header_cfo(hdr, FS) == pytest.approx(4.2e3, abs=0.01)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_header_channel(np.zeros(100, dtype=complex))
+
+
+class TestPhaseSynchronizer:
+    def test_requires_reference(self):
+        sync = PhaseSynchronizer(FS)
+        with pytest.raises(ValueError):
+            sync.observe_header(received_header(0.0, 0.0), 0.0)
+
+    def test_rotation_tracks_elapsed_phase(self):
+        """h_lead(t)/h_lead(0) = e^{j dw t} — the §5.2b direct measurement."""
+        cfo = 3.7e3
+        sync = PhaseSynchronizer(FS)
+        sync.set_reference(received_header(cfo, 0.0), 0.0)
+        t = 450e-6
+        obs = sync.observe_header(received_header(cfo, t), t)
+        expected = 2 * np.pi * cfo * t
+        assert np.angle(obs.rotation) == pytest.approx(
+            np.angle(np.exp(1j * expected)), abs=1e-3
+        )
+
+    def test_no_error_accumulation_across_packets(self):
+        """The paper's core claim: direct phase measurement has no error
+        that grows with elapsed time.  Measure the rotation error at 1 ms
+        and at 100 ms — they must be statistically identical."""
+        rng = np.random.default_rng(0)
+        cfo = 5.1e3
+        errors = {1e-3: [], 100e-3: []}
+        for trial in range(30):
+            sync = PhaseSynchronizer(FS)
+            sync.set_reference(
+                received_header(cfo, 0.0, noise_sigma=0.05, rng=rng), 0.0
+            )
+            for t in errors:
+                obs = sync.observe_header(
+                    received_header(cfo, t, noise_sigma=0.05, rng=rng), t
+                )
+                ideal = np.exp(2j * np.pi * cfo * t)
+                errors[t].append(abs(np.angle(obs.rotation * np.conj(ideal))))
+        short_err = np.mean(errors[1e-3])
+        long_err = np.mean(errors[100e-3])
+        assert long_err < 3 * short_err  # no growth with elapsed time
+        assert long_err < 0.05
+
+    def test_correction_extends_through_packet(self):
+        cfo = 2.0e3
+        sync = PhaseSynchronizer(FS)
+        sync.set_reference(received_header(cfo, 0.0), 0.0)
+        t_hdr = 1e-3
+        obs = sync.observe_header(received_header(cfo, t_hdr), t_hdr)
+        times = t_hdr + np.linspace(0, 2e-3, 50)
+        corr = sync.correction(times, obs)
+        ideal = np.exp(2j * np.pi * cfo * times)
+        err = np.abs(np.angle(corr * np.conj(ideal)))
+        assert np.max(err) < 0.05
+
+    def test_no_tracking_variant_is_constant(self):
+        sync = PhaseSynchronizer(FS)
+        sync.set_reference(received_header(1e3, 0.0), 0.0)
+        obs = sync.observe_header(received_header(1e3, 1e-3), 1e-3)
+        corr = sync.correction_without_inpacket_tracking(
+            np.linspace(1e-3, 3e-3, 10), obs
+        )
+        assert np.allclose(corr, corr[0])
+
+    def test_cross_header_refinement_converges(self):
+        """Long-baseline CFO refinement drives the tracker to ~Hz accuracy."""
+        rng = np.random.default_rng(1)
+        cfo = 6.3e3
+        sync = PhaseSynchronizer(FS)
+        sync.set_reference(received_header(cfo, 0.0, noise_sigma=0.03, rng=rng), 0.0)
+        for k in range(1, 12):
+            t = k * 1e-3
+            sync.observe_header(
+                received_header(cfo, t, noise_sigma=0.03, rng=rng), t
+            )
+        assert sync.cfo_tracker.estimate_hz == pytest.approx(cfo, abs=15.0)
+
+
+class TestNaiveExtrapolator:
+    def test_error_grows_linearly(self):
+        naive = NaiveCfoExtrapolator(true_cfo_hz=5e3, cfo_error_hz=100.0)
+        e1 = naive.phase_error(np.array([1e-3]))[0]
+        e10 = naive.phase_error(np.array([10e-3]))[0]
+        assert e10 == pytest.approx(10 * e1)
+
+    def test_paper_numeric_example(self):
+        """§5.2b: 100 Hz error -> pi radians within 5 ms (phase = 2*pi*f*t)."""
+        naive = NaiveCfoExtrapolator(true_cfo_hz=0.0, cfo_error_hz=100.0)
+        assert naive.phase_error(np.array([5e-3]))[0] == pytest.approx(np.pi)
+
+    def test_correction_uses_estimated_cfo(self):
+        naive = NaiveCfoExtrapolator(true_cfo_hz=1e3, cfo_error_hz=0.0)
+        t = np.array([2e-3])
+        assert np.angle(naive.correction(t))[0] == pytest.approx(
+            np.angle(np.exp(2j * np.pi * 1e3 * t))[0]
+        )

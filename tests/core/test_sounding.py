@@ -1,0 +1,164 @@
+"""Interleaved channel measurement (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CP_LENGTH, FFT_SIZE
+from repro.core.sounding import (
+    CFO_BLOCK_LENGTH,
+    REFERENCE_OFFSET,
+    SLOT_LENGTH,
+    SoundingPlan,
+    estimate_at_client,
+    estimate_single_ap,
+    interleaved_sounding_frame,
+)
+from repro.phy.cfo import apply_cfo
+from repro.phy.preamble import lts_grid, sync_header_length
+
+FS = 10e6
+
+
+@pytest.fixture
+def plan():
+    return SoundingPlan(n_aps=3, n_rounds=4, sample_rate=FS)
+
+
+class TestPlanGeometry:
+    def test_frame_length(self, plan):
+        expected = (
+            sync_header_length() + 3 * CFO_BLOCK_LENGTH + 4 * 3 * SLOT_LENGTH
+        )
+        assert plan.frame_length == expected
+
+    def test_slots_interleave_by_ap(self, plan):
+        # within one round, consecutive APs take consecutive slots
+        assert plan.slot_start(1, 0) - plan.slot_start(0, 0) == SLOT_LENGTH
+        # one AP's slots repeat every n_aps slots
+        assert plan.slot_start(0, 1) - plan.slot_start(0, 0) == 3 * SLOT_LENGTH
+
+    def test_bad_indices(self, plan):
+        with pytest.raises(ValueError):
+            plan.slot_start(3, 0)
+        with pytest.raises(ValueError):
+            plan.slot_start(0, 4)
+
+
+class TestFrameConstruction:
+    def test_only_lead_sends_header(self, plan):
+        lead = interleaved_sounding_frame(plan, 0)
+        slave = interleaved_sounding_frame(plan, 1)
+        hdr_len = sync_header_length()
+        assert np.any(lead[:hdr_len] != 0)
+        assert np.allclose(slave[:hdr_len], 0)
+
+    def test_slots_do_not_overlap(self, plan):
+        frames = [interleaved_sounding_frame(plan, i) for i in range(3)]
+        # at most one AP transmits at any sample after the header
+        active = np.stack([np.abs(f) > 1e-12 for f in frames])
+        hdr_len = sync_header_length()
+        assert np.all(active[:, hdr_len:].sum(axis=0) <= 1)
+
+    def test_each_ap_fills_its_slots(self, plan):
+        frame = interleaved_sounding_frame(plan, 2)
+        for r in range(plan.n_rounds):
+            s = plan.slot_start(2, r)
+            assert np.any(np.abs(frame[s : s + SLOT_LENGTH]) > 0)
+
+
+def simulate_reception(plan, cfos_hz, channels, noise_sigma=0.0, rng=None):
+    """Superpose per-AP sounding frames with per-AP CFO and flat channels."""
+    total = np.zeros(plan.frame_length, dtype=complex)
+    for ap in range(plan.n_aps):
+        frame = interleaved_sounding_frame(plan, ap)
+        total += channels[ap] * apply_cfo(frame, cfos_hz[ap], plan.sample_rate)
+    if noise_sigma > 0:
+        total = total + noise_sigma * (
+            rng.normal(size=total.size) + 1j * rng.normal(size=total.size)
+        )
+    return total
+
+
+class TestClientEstimation:
+    def test_noiseless_channels_recovered(self, plan):
+        cfos = [2e3, -4.5e3, 7e3]
+        channels = [1.0 + 0j, 0.6 * np.exp(1j * 1.0), 1.3 * np.exp(-1j * 2.0)]
+        rx = simulate_reception(plan, cfos, channels)
+        est = estimate_at_client(rx, plan)
+        occupied = np.abs(lts_grid()) > 0
+        for ap in range(3):
+            # channel referred to the reference time: rotate truth forward
+            elapsed = REFERENCE_OFFSET / FS
+            truth = channels[ap] * np.exp(2j * np.pi * cfos[ap] * elapsed)
+            got = est.channels[ap][occupied]
+            # per-bin ripple from CFO-induced ICI within the estimation
+            # window is a real effect; the estimate must be right to ~5%
+            assert np.allclose(got, truth, atol=0.06), f"ap{ap}"
+            assert np.mean(got) == pytest.approx(truth, abs=0.02)
+
+    def test_cfos_recovered(self, plan):
+        cfos = [2e3, -4.5e3, 7e3]
+        channels = [1.0, 1.0, 1.0]
+        rx = simulate_reception(plan, cfos, channels)
+        est = estimate_at_client(rx, plan)
+        assert np.allclose(est.cfos_hz, cfos, atol=5.0)
+
+    def test_noise_estimate_tracks_actual_noise(self, plan):
+        rng = np.random.default_rng(0)
+        sigma = 0.1
+        rx = simulate_reception(plan, [1e3, 2e3, 3e3], [1.0, 1.0, 1.0],
+                                noise_sigma=sigma, rng=rng)
+        est = estimate_at_client(rx, plan)
+        assert est.noise_power == pytest.approx(2 * sigma**2, rel=0.5)
+
+    def test_averaging_beats_single_round(self):
+        rng = np.random.default_rng(1)
+        errs = {}
+        for rounds in (1, 4):
+            plan = SoundingPlan(n_aps=2, n_rounds=rounds, sample_rate=FS)
+            errors = []
+            for _ in range(10):
+                rx = simulate_reception(
+                    plan, [1.5e3, -2e3], [1.0, 1.0], noise_sigma=0.15, rng=rng
+                )
+                est = estimate_at_client(rx, plan)
+                occupied = np.abs(lts_grid()) > 0
+                elapsed = REFERENCE_OFFSET / FS
+                truth = np.exp(2j * np.pi * 1.5e3 * elapsed)
+                errors.append(np.mean(np.abs(est.channels[0][occupied] - truth)))
+            errs[rounds] = np.mean(errors)
+        assert errs[4] < errs[1]
+
+    def test_short_capture_rejected(self, plan):
+        with pytest.raises(ValueError):
+            estimate_at_client(np.zeros(10, dtype=complex), plan)
+
+    def test_single_ap_view_matches_full(self, plan):
+        cfos = [2e3, -4.5e3, 7e3]
+        channels = [1.0, 0.5 + 0.5j, 1.0j]
+        rx = simulate_reception(plan, cfos, channels)
+        full = estimate_at_client(rx, plan)
+        ch0, cfo0, _ = estimate_single_ap(rx, plan, 0)
+        assert np.allclose(ch0, full.channels[0])
+        assert cfo0 == pytest.approx(full.cfos_hz[0])
+
+
+class TestSoundingResultContainer:
+    def test_channel_matrix_shape(self, plan):
+        from repro.core.sounding import ClientSoundingEstimate, SoundingResult
+
+        ests = [
+            ClientSoundingEstimate(
+                channels=np.full((3, FFT_SIZE), c + 1.0 + 0j),
+                cfos_hz=np.zeros(3),
+                noise_power=0.0,
+            )
+            for c in range(2)
+        ]
+        result = SoundingResult(client_estimates=ests, reference_time=0.0)
+        h = result.channel_matrix(subcarrier_bin=1)
+        assert h.shape == (2, 3)
+        assert h[0, 0] == 1.0 and h[1, 0] == 2.0
+        tensor = result.channel_tensor()
+        assert tensor.shape == (FFT_SIZE, 2, 3)
+        assert tensor[5, 1, 2] == 2.0

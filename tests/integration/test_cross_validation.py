@@ -1,0 +1,151 @@
+"""Cross-validation: the fast frequency-domain path against the
+sample-level protocol, and the narrowband abstraction against the medium."""
+
+import numpy as np
+import pytest
+
+from repro import MegaMimoSystem, SystemConfig, get_mcs
+from repro.channel.models import RicianChannel
+from repro.phy.preamble import lts_grid
+from repro.sim.fastsim import joint_zf_sinr_db
+from repro.utils.units import linear_to_db
+
+
+class TestFastVsSampleLevel:
+    def test_post_beamforming_snr_agreement(self):
+        """Feed the sample-level system's *measured* channel tensor through
+        the fast path; its predicted SINR must match what clients actually
+        report from pilots during a real joint transmission."""
+        config = SystemConfig(n_aps=2, n_clients=2, seed=41)
+        system = MegaMimoSystem.create(
+            config, client_snr_db=25.0, channel_model=RicianChannel(k_factor=8.0)
+        )
+        system.run_sounding(0.0)
+
+        occupied = np.nonzero(np.abs(lts_grid()) > 0)[0]
+        channels = system._channel_tensor[occupied]  # (52, 2, 2)
+        predicted = joint_zf_sinr_db(channels, noise_power=config.noise_power)
+        predicted_mean = np.mean(predicted, axis=1)
+
+        report = system.joint_transmit(
+            [b"A" * 40, b"B" * 40], get_mcs(2), start_time=1e-3
+        )
+        measured = np.array([r.effective_snr_db for r in report.receptions])
+        # agreement within a few dB (pilot-based SNR estimation is noisy)
+        assert abs(np.mean(measured) - np.mean(predicted_mean)) < 3.0
+        assert np.all(np.abs(measured - predicted_mean) < 5.0)
+
+    def test_misalignment_breaks_intended_delivery(self):
+        """With no slave correction the fast path predicts the intended
+        streams' SINR collapses — and the sample-level clients indeed stop
+        receiving *their own* payloads (they may lock onto a coherent
+        mixture dominated by another client's stream, which is exactly why
+        misalignment destroys multi-user beamforming even when the received
+        constellation looks clean)."""
+        seed = 42
+        config = SystemConfig(n_aps=2, n_clients=2, seed=seed, sync_strategy="none")
+        system = MegaMimoSystem.create(
+            config, client_snr_db=25.0, channel_model=RicianChannel(k_factor=8.0)
+        )
+        system.run_sounding(0.0)
+        payloads = [b"A" * 40, b"B" * 40]
+        report = system.joint_transmit(payloads, get_mcs(0), 4e-3)
+
+        # genie phase error of the uncorrected slave at transmit time
+        lead = system.medium.oscillator(system.lead_id)
+        slave = system.medium.oscillator(system.ap_ids[1])
+        tref = system.reference_time
+        t = report.joint_start_time
+        err = (
+            lead.phase_at([t])[0]
+            - slave.phase_at([t])[0]
+            - lead.phase_at([tref])[0]
+            + slave.phase_at([tref])[0]
+        )
+
+        occupied = np.nonzero(np.abs(lts_grid()) > 0)[0]
+        channels = system._channel_tensor[occupied]
+        predicted = np.mean(
+            joint_zf_sinr_db(channels, phase_errors=np.array([0.0, -err]))
+        )
+        assert predicted < 8.0  # intended-stream SINR collapses
+
+        delivered = [
+            r.decoded.payload == p for r, p in zip(report.receptions, payloads)
+        ]
+        assert not all(delivered)
+
+        # the oracle-corrected system delivers both intended payloads
+        oracle = MegaMimoSystem.create(
+            SystemConfig(n_aps=2, n_clients=2, seed=seed, sync_strategy="oracle"),
+            client_snr_db=25.0,
+            channel_model=RicianChannel(k_factor=8.0),
+        )
+        oracle.run_sounding(0.0)
+        oracle_report = oracle.joint_transmit(payloads, get_mcs(0), 4e-3)
+        assert [
+            r.decoded.payload == p
+            for r, p in zip(oracle_report.receptions, payloads)
+        ] == [True, True]
+
+
+class TestNarrowbandVsMedium:
+    def test_rotation_convention_matches(self):
+        """Both abstractions must rotate the channel by e^{j(theta_tx -
+        theta_rx)} — the §6/§7 math depends on it."""
+        from repro.channel.medium import Medium
+        from repro.channel.models import LinkChannel
+        from repro.channel.oscillator import Oscillator, OscillatorConfig
+        from repro.core.narrowband import NarrowbandNetwork
+
+        osc_tx = Oscillator(OscillatorConfig(ppm_offset=1.0, phase_noise_rad2_per_s=0.0))
+        osc_rx = Oscillator(OscillatorConfig(ppm_offset=-1.0, phase_noise_rad2_per_s=0.0))
+
+        net = NarrowbandNetwork(rng=0)
+        net.add_device("tx", ["t"], oscillator=osc_tx)
+        net.add_device("rx", ["r"], oscillator=osc_rx)
+        net.set_channel("t", "r", 1.0 + 0j)
+
+        medium = Medium(10e6, noise_power=0.0, rng=0)
+        medium.register_node("t", osc_tx)
+        medium.register_node("r", osc_rx)
+        medium.set_link("t", "r", LinkChannel(taps=np.array([1.0 + 0j])))
+
+        t = 2e-4
+        medium.transmit("t", np.ones(1, dtype=complex), t)
+        sample = medium.receive("r", t, 1)[0]
+        narrowband = net.true_channel("t", "r", t)
+        assert np.angle(sample) == pytest.approx(np.angle(narrowband), abs=1e-9)
+
+
+class TestInrCrossValidation:
+    def test_sample_level_inr_matches_fast_path_band(self):
+        """The sample-level nulling measurement (Fig. 8 methodology) must
+        land in the band the fast path predicts from the same measured
+        channel snapshot with the calibrated error model."""
+        from repro.sim.fastsim import SyncErrorModel, nulling_inr_db
+
+        inrs = []
+        predictions = []
+        for seed in (44, 45, 46):
+            config = SystemConfig(n_aps=3, n_clients=3, seed=seed)
+            system = MegaMimoSystem.create(
+                config, client_snr_db=22.0, channel_model=RicianChannel(k_factor=8.0)
+            )
+            system.run_sounding(0.0)
+            inrs.append(system.measure_inr(nulled_client=1, start_time=1e-3))
+
+            occupied = np.nonzero(np.abs(lts_grid()) > 0)[0]
+            channels = system._channel_tensor[occupied]
+            model = SyncErrorModel()
+            rng = np.random.default_rng(seed)
+            draws = [
+                nulling_inr_db(
+                    channels, 1, phase_errors=model.phase_errors(3, rng)
+                )
+                for _ in range(20)
+            ]
+            predictions.append(np.mean(draws))
+        # both paths agree INR is small, and within a few dB of each other
+        assert np.mean(inrs) < 3.0
+        assert abs(np.mean(inrs) - np.mean(predictions)) < 2.5

@@ -1,0 +1,49 @@
+"""Golden-result regression: fixed-seed experiment outputs must not drift.
+
+The experiment runners are fully seeded, so any change to the PHY, channel
+models, error calibration or rate tables shows up here as an exact-value
+drift — the earliest possible signal that a refactor changed the physics.
+Reference values live in tests/data/golden.json; regenerate them
+deliberately (with justification in the commit) when behaviour is *meant*
+to change.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.sim.experiments import run_fig6, run_fig8, run_fig9, run_fig12
+
+GOLDEN = json.loads((Path(__file__).parent.parent / "data" / "golden.json").read_text())
+
+
+class TestGolden:
+    def test_fig6(self):
+        r = run_fig6(seed=1, n_channels=50)
+        assert r.reduction_at(20.0, 0.35) == pytest.approx(
+            GOLDEN["fig6_loss_035_20db"], rel=1e-9
+        )
+        assert r.reduction_at(10.0, 0.35) == pytest.approx(
+            GOLDEN["fig6_loss_035_10db"], rel=1e-9
+        )
+
+    def test_fig8(self):
+        r = run_fig8(seed=3, n_receivers=(2, 6, 10), n_topologies=4, n_packets=3)
+        assert np.allclose(r.inr_db["high"], GOLDEN["fig8_inr_high"], rtol=1e-9)
+
+    def test_fig9(self):
+        r = run_fig9(seed=4, n_aps=(2, 6, 10), n_topologies=4)
+        gains = [r.median_gain("high", n) for n in (2, 6, 10)]
+        assert np.allclose(gains, GOLDEN["fig9_gain_high"], rtol=1e-9)
+        assert np.allclose(
+            r.mean_baseline_mbps("high"),
+            GOLDEN["fig9_baseline_high_mbps"],
+            rtol=1e-9,
+        )
+
+    def test_fig12(self):
+        r = run_fig12(seed=6, n_topologies=6)
+        for band, expected in GOLDEN["fig12_gains"].items():
+            assert r.mean_gain(band) == pytest.approx(expected, rel=1e-9)

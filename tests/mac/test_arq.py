@@ -1,0 +1,85 @@
+"""Asynchronous ACKs and retransmission (§9)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.arq import ArqController, PacketStatus
+from repro.mac.queue import DownlinkQueue
+
+
+@pytest.fixture
+def setup():
+    q = DownlinkQueue(np.array([[20.0], [15.0]]))
+    arq = ArqController(q, ack_timeout_s=10e-3, max_retries=2)
+    return q, arq
+
+
+class TestAckPath:
+    def test_ack_delivers(self, setup):
+        q, arq = setup
+        p = q.enqueue(0)
+        q.remove(p)
+        arq.on_transmit(p, now=0.0)
+        assert arq.status_of(p.seqno) == PacketStatus.IN_FLIGHT
+        arq.on_ack(p.seqno)
+        assert p in arq.delivered
+        assert arq.in_flight_count() == 0
+
+    def test_duplicate_ack_ignored(self, setup):
+        q, arq = setup
+        p = q.enqueue(0)
+        q.remove(p)
+        arq.on_transmit(p, now=0.0)
+        arq.on_ack(p.seqno)
+        arq.on_ack(p.seqno)
+        assert arq.delivered.count(p) == 1
+
+    def test_unknown_ack_ignored(self, setup):
+        _, arq = setup
+        arq.on_ack(999_999)
+        assert not arq.delivered
+
+
+class TestTimeoutPath:
+    def test_timeout_requeues(self, setup):
+        q, arq = setup
+        p = q.enqueue(0)
+        q.remove(p)
+        arq.on_transmit(p, now=0.0)
+        requeued = arq.poll_timeouts(now=20e-3)
+        assert requeued == [p]
+        assert p.retries == 1
+        assert q.head() is p
+
+    def test_no_premature_timeout(self, setup):
+        q, arq = setup
+        p = q.enqueue(0)
+        q.remove(p)
+        arq.on_transmit(p, now=0.0)
+        assert arq.poll_timeouts(now=5e-3) == []
+        assert arq.in_flight_count() == 1
+
+    def test_max_retries_drops(self, setup):
+        q, arq = setup
+        p = q.enqueue(0)
+        q.remove(p)
+        p.retries = 2  # already at the limit
+        arq.on_transmit(p, now=0.0)
+        arq.poll_timeouts(now=20e-3)
+        assert p in arq.dropped
+        assert len(q) == 0
+
+    def test_losses_decoupled_across_clients(self, setup):
+        """§9: 'packet losses at different clients are decoupled' — losing
+        client 0's packet must not disturb client 1's delivery."""
+        q, arq = setup
+        p0 = q.enqueue(0)
+        p1 = q.enqueue(1)
+        q.remove(p0)
+        q.remove(p1)
+        arq.on_transmit(p0, now=0.0)
+        arq.on_transmit(p1, now=0.0)
+        arq.on_ack(p1.seqno)  # client 1 decoded fine
+        arq.poll_timeouts(now=20e-3)  # client 0 timed out
+        assert p1 in arq.delivered
+        assert q.head() is p0

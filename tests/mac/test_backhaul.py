@@ -1,0 +1,68 @@
+"""Wired backend model."""
+
+import pytest
+
+from repro.mac.backhaul import BackhaulConfig, EthernetBackhaul
+
+
+@pytest.fixture
+def net():
+    return EthernetBackhaul(
+        ["ap0", "ap1", "ap2"], BackhaulConfig(bandwidth_bps=1e9, latency_s=50e-6)
+    )
+
+
+class TestBroadcast:
+    def test_reaches_all_nodes(self, net):
+        net.broadcast(0.0, "pkt", size_bytes=1500)
+        deliveries = net.deliveries_until(1.0)
+        assert {d[1] for d in deliveries} == {"ap0", "ap1", "ap2"}
+        assert all(d[2] == "pkt" for d in deliveries)
+
+    def test_exclude_source(self, net):
+        net.broadcast(0.0, "pkt", size_bytes=100, exclude="ap0")
+        assert {d[1] for d in net.deliveries_until(1.0)} == {"ap1", "ap2"}
+
+    def test_arrival_time_includes_serialization_and_latency(self, net):
+        arrival = net.broadcast(0.0, "pkt", size_bytes=1500)
+        assert arrival == pytest.approx(1500 * 8 / 1e9 + 50e-6)
+
+    def test_gige_distribution_is_fast(self, net):
+        """A 1500-byte packet reaches every AP in ~62 us — far below packet
+        airtime, which is why the paper can treat the wire as free."""
+        assert net.distribution_delay_s(1500) < 100e-6
+
+
+class TestSerialization:
+    def test_back_to_back_messages_queue_on_the_link(self, net):
+        first = net.broadcast(0.0, "a", size_bytes=125_000)  # 1 ms at 1 Gbps
+        second = net.broadcast(0.0, "b", size_bytes=125_000)
+        assert second == pytest.approx(first + 1e-3)
+
+    def test_bytes_accounted(self, net):
+        net.broadcast(0.0, "a", 100)
+        net.unicast(0.0, "ap1", "b", 50)
+        assert net.bytes_carried == 150
+
+
+class TestDelivery:
+    def test_nothing_before_arrival(self, net):
+        net.unicast(0.0, "ap1", "ctrl", 100)
+        assert net.deliveries_until(1e-6) == []
+        assert net.pending() == 1
+
+    def test_unicast_single_destination(self, net):
+        net.unicast(0.0, "ap2", "ctrl", 100)
+        deliveries = net.deliveries_until(1.0)
+        assert len(deliveries) == 1
+        assert deliveries[0][1] == "ap2"
+
+    def test_unknown_destination_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.unicast(0.0, "ghost", "x", 10)
+
+    def test_ordered_drain(self, net):
+        net.unicast(0.0, "ap1", "first", 10)
+        net.unicast(1e-3, "ap1", "second", 10)
+        deliveries = net.deliveries_until(1.0)
+        assert [d[2] for d in deliveries] == ["first", "second"]

@@ -1,0 +1,62 @@
+"""Baseline throughput models."""
+
+import numpy as np
+import pytest
+
+from repro.mac.baseline import (
+    baseline_80211_throughput,
+    baseline_80211n_throughput,
+    megamimo_throughput_from_rates,
+)
+from repro.mac.rate import EffectiveSnrRateSelector
+
+
+@pytest.fixture
+def selector():
+    return EffectiveSnrRateSelector(10e6, mac_efficiency=1.0)
+
+
+class Test80211Baseline:
+    def test_equal_share_divides_by_n(self, selector):
+        snrs = [np.full(48, 25.0)] * 4
+        per_client = baseline_80211_throughput(snrs, selector)
+        assert per_client.shape == (4,)
+        assert np.allclose(per_client, 27e6 / 4)
+
+    def test_total_independent_of_n_for_identical_clients(self, selector):
+        """Fig. 9: 802.11 total throughput stays flat as clients are added."""
+        totals = []
+        for n in (2, 5, 10):
+            snrs = [np.full(48, 25.0)] * n
+            totals.append(baseline_80211_throughput(snrs, selector).sum())
+        assert np.allclose(totals, totals[0])
+
+    def test_weak_client_drags_only_itself(self, selector):
+        snrs = [np.full(48, 25.0), np.full(48, 4.0)]
+        out = baseline_80211_throughput(snrs, selector)
+        assert out[0] > out[1]
+
+    def test_empty_rejected(self, selector):
+        with pytest.raises(ValueError):
+            baseline_80211_throughput([], selector)
+
+
+class Test80211nBaseline:
+    def test_streams_sum_then_share(self, selector):
+        streams = [[np.full(48, 25.0), np.full(48, 25.0)]] * 2
+        out = baseline_80211n_throughput(streams, selector)
+        assert np.allclose(out, 2 * 27e6 / 2)
+
+    def test_asymmetric_streams(self, selector):
+        # strong stream at top rate (27 Mbps), weak stream at BPSK-1/2 (3)
+        streams = [[np.full(48, 25.0), np.full(48, 4.0)]]
+        out = baseline_80211n_throughput(streams, selector)
+        assert out[0] == pytest.approx(27e6 + 3e6)
+
+
+class TestMegamimoTotal:
+    def test_sums_streams(self):
+        assert megamimo_throughput_from_rates([1e6, 2e6, 3e6]) == 6e6
+
+    def test_single_stream(self):
+        assert megamimo_throughput_from_rates([5e6]) == 5e6

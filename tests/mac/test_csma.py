@@ -1,0 +1,73 @@
+"""Weighted contention (§9, [29])."""
+
+import numpy as np
+import pytest
+
+from repro.mac.csma import CsmaSimulator, Station
+
+
+class TestStation:
+    def test_weighted_window_shrinks(self):
+        assert Station("lead", weight=4, base_window=32).window == 8
+
+    def test_window_floor(self):
+        assert Station("x", weight=100, base_window=32).window == 2
+
+    def test_unit_weight(self):
+        assert Station("x", weight=1, base_window=32).window == 32
+
+
+class TestContention:
+    def test_equal_stations_fair_shares(self):
+        stations = [Station(f"s{i}") for i in range(4)]
+        outcome = CsmaSimulator(stations, rng=0).run(20_000)
+        for s in stations:
+            assert outcome.share(s.name) == pytest.approx(0.25, abs=0.03)
+
+    def test_weighted_lead_wins_proportionally(self):
+        """A lead contending for an n-packet joint transmission should win
+        ~n times as often as a single-packet station."""
+        stations = [Station("lead", weight=4), Station("legacy", weight=1)]
+        outcome = CsmaSimulator(stations, rng=1).run(30_000)
+        ratio = outcome.share("lead") / outcome.share("legacy")
+        assert 2.5 < ratio < 6.5
+
+    def test_single_station_always_wins(self):
+        outcome = CsmaSimulator([Station("only")], rng=2).run(1000)
+        assert outcome.wins["only"] + outcome.collisions == 1000
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            CsmaSimulator([Station("a"), Station("a")])
+
+
+class TestHiddenTerminals:
+    def test_hidden_pair_causes_losses(self):
+        sim = CsmaSimulator([Station("a"), Station("b"), Station("c")], rng=3)
+        sim.set_hidden("a", "b")
+        outcome = sim.run(10_000)
+        assert sim.loss_counts["a"] + sim.loss_counts["b"] > 0
+        assert outcome.collisions > 0
+
+    def test_no_hidden_no_hidden_losses(self):
+        sim = CsmaSimulator([Station("a"), Station("b")], rng=4)
+        sim.run(5_000)
+        assert sim.loss_counts["a"] == 0 and sim.loss_counts["b"] == 0
+
+    def test_blacklisting_persistent_offender(self):
+        """§9: APs that trigger hidden-terminal loss above a threshold are
+        removed from the joint transmission ([34]-style detection)."""
+        sim = CsmaSimulator([Station("a"), Station("b")], rng=5)
+        sim.set_hidden("a", "b")
+        sim.run(20_000, loss_threshold=50)
+        assert sim.blacklisted  # someone got excluded
+        # after exclusion the survivor transmits cleanly
+        survivors = [s.name for s in sim.active_stations()]
+        outcome = sim.run(2_000)
+        assert sum(outcome.wins[s] for s in survivors) > 0
+
+    def test_manual_blacklist(self):
+        sim = CsmaSimulator([Station("a"), Station("b")], rng=6)
+        sim.blacklist("a")
+        outcome = sim.run(1000)
+        assert outcome.wins["a"] == 0

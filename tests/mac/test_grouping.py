@@ -1,0 +1,92 @@
+"""Grouping heuristics (§9 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MAC_EFFICIENCY, SAMPLE_RATE_USRP
+from repro.mac.grouping import GreedyFifoGrouping, ThroughputAwareGrouping
+from repro.mac.queue import DownlinkQueue
+from repro.mac.rate import EffectiveSnrRateSelector
+from repro.mac.scheduler import JointScheduler
+from repro.sim.fastsim import build_channel_tensor
+
+
+@pytest.fixture
+def selector():
+    return EffectiveSnrRateSelector(SAMPLE_RATE_USRP, mac_efficiency=MAC_EFFICIENCY)
+
+
+def make_queue_with(clients, n_aps=4):
+    rng = np.random.default_rng(0)
+    n_clients = max(clients) + 1
+    q = DownlinkQueue(rng.uniform(15, 25, (n_clients, n_aps)))
+    return q, [q.enqueue(c) for c in clients]
+
+
+class TestGreedyFifo:
+    def test_matches_default_scheduler(self):
+        q1, _ = make_queue_with([0, 1, 1, 2])
+        q2, _ = make_queue_with([0, 1, 1, 2])
+        default = JointScheduler(q1, max_streams=4).next_group()
+        explicit = JointScheduler(
+            q2, max_streams=4, grouping=GreedyFifoGrouping()
+        ).next_group()
+        assert default.clients == explicit.clients
+
+
+class TestThroughputAware:
+    def test_excludes_collinear_client(self, selector):
+        """A client whose channel is nearly collinear with another ruins the
+        ZF scalar k for everyone; throughput-aware grouping drops it."""
+        rng = np.random.default_rng(1)
+        channels = build_channel_tensor(np.full((3, 3), 22.0), rng)
+        channels[:, 2, :] = channels[:, 0, :] * 1.01  # client 2 ~ client 0
+        grouping = ThroughputAwareGrouping(channels, selector)
+
+        q, packets = make_queue_with([0, 1, 2], n_aps=3)
+        group = JointScheduler(q, max_streams=3, grouping=grouping).next_group()
+        assert 2 not in group.clients
+        assert group.clients[0] == 0  # head always included
+
+    def test_admits_orthogonal_clients(self, selector):
+        rng = np.random.default_rng(2)
+        # near-orthogonal channels: identity-dominated
+        channels = np.tile(
+            (np.eye(3) * 12.0 + 0.5)[None, :, :].astype(complex), (8, 1, 1)
+        )
+        grouping = ThroughputAwareGrouping(channels, selector)
+        q, _ = make_queue_with([0, 1, 2], n_aps=3)
+        group = JointScheduler(q, max_streams=3, grouping=grouping).next_group()
+        assert sorted(group.clients) == [0, 1, 2]
+
+    def test_sum_rate_scoring(self, selector):
+        rng = np.random.default_rng(3)
+        channels = build_channel_tensor(np.full((2, 2), 25.0), rng)
+        grouping = ThroughputAwareGrouping(channels, selector)
+        single = grouping.group_sum_rate([0])
+        assert single > 0
+        assert grouping.group_sum_rate([0, 1]) != single
+
+    def test_over_budget_clients_zero(self, selector):
+        rng = np.random.default_rng(4)
+        channels = build_channel_tensor(np.full((2, 2), 25.0), rng)
+        grouping = ThroughputAwareGrouping(channels, selector)
+        assert grouping.group_sum_rate([0, 1, 1]) == 0.0
+
+    def test_beats_fifo_on_adversarial_queue(self, selector):
+        """Across adversarial topologies (one collinear pair), the
+        throughput-aware rule achieves at least the FIFO rule's sum rate."""
+        rng = np.random.default_rng(5)
+        wins = 0
+        for trial in range(10):
+            channels = build_channel_tensor(np.full((4, 4), 20.0), rng)
+            channels[:, 3, :] = channels[:, 1, :] * (1.0 + 0.02j)
+            grouping = ThroughputAwareGrouping(channels, selector)
+            fifo_rate = grouping.group_sum_rate([0, 1, 2, 3])
+            q, _ = make_queue_with([0, 1, 2, 3], n_aps=4)
+            group = JointScheduler(q, max_streams=4, grouping=grouping).next_group()
+            smart_rate = grouping.group_sum_rate(group.clients)
+            assert smart_rate >= fifo_rate - 1e-9
+            if smart_rate > fifo_rate:
+                wins += 1
+        assert wins >= 7

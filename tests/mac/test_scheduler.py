@@ -1,0 +1,88 @@
+"""Joint-transmission scheduling (§9)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.queue import DownlinkQueue
+from repro.mac.scheduler import JointScheduler
+
+
+def make_queue(n_clients=4, n_aps=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return DownlinkQueue(rng.uniform(5, 25, (n_clients, n_aps)))
+
+
+class TestGrouping:
+    def test_head_elects_lead(self):
+        q = make_queue()
+        head = q.enqueue(2)
+        q.enqueue(0)
+        group = JointScheduler(q, max_streams=4).next_group()
+        assert group.lead_ap == head.designated_ap
+        assert head in group.packets
+
+    def test_one_packet_per_client(self):
+        q = make_queue()
+        q.enqueue(0)
+        q.enqueue(0)  # duplicate client
+        q.enqueue(1)
+        group = JointScheduler(q, max_streams=4).next_group()
+        assert sorted(group.clients) == [0, 1]
+
+    def test_stream_budget_respected(self):
+        q = make_queue()
+        for c in range(4):
+            q.enqueue(c)
+        group = JointScheduler(q, max_streams=2).next_group()
+        assert group.n_streams == 2
+
+    def test_fifo_order_preferred(self):
+        q = make_queue()
+        q.enqueue(3)
+        q.enqueue(1)
+        q.enqueue(2)
+        group = JointScheduler(q, max_streams=2).next_group()
+        assert group.clients == [3, 1]
+
+    def test_selected_packets_leave_queue(self):
+        q = make_queue()
+        q.enqueue(0)
+        q.enqueue(1)
+        JointScheduler(q, max_streams=4).next_group()
+        assert len(q) == 0
+
+    def test_empty_queue_gives_none(self):
+        q = make_queue()
+        assert JointScheduler(q, max_streams=4).next_group() is None
+
+    def test_leftover_duplicate_stays_queued(self):
+        q = make_queue()
+        q.enqueue(0)
+        dup = q.enqueue(0)
+        JointScheduler(q, max_streams=4).next_group()
+        assert q.head() is dup
+
+
+class TestCustomGrouping:
+    def test_custom_heuristic_used(self):
+        q = make_queue()
+        head = q.enqueue(0)
+        other = q.enqueue(1)
+
+        def singleton(h, candidates, budget):
+            return [h]
+
+        group = JointScheduler(q, max_streams=4, grouping=singleton).next_group()
+        assert group.packets == [head]
+        assert q.head() is other
+
+    def test_custom_heuristic_must_keep_head(self):
+        q = make_queue()
+        q.enqueue(0)
+        q.enqueue(1)
+
+        def drops_head(h, candidates, budget):
+            return candidates[:1]
+
+        with pytest.raises(ValueError):
+            JointScheduler(q, max_streams=4, grouping=drops_head).next_group()

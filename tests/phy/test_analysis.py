@@ -1,0 +1,79 @@
+"""Waveform analysis and PHY sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro.phy.analysis import (
+    analyze_waveform,
+    evm_db,
+    occupied_bandwidth_fraction,
+    papr_db,
+    power_spectrum,
+)
+from repro.phy.frame import FrameConfig, PhyFrameEncoder
+from repro.phy.mcs import get_mcs
+from repro.phy.preamble import short_training_sequence, sync_header
+
+
+def ofdm_waveform(n_bytes=400, mcs_index=2):
+    enc = PhyFrameEncoder(FrameConfig(sample_rate=10e6))
+    return enc.encode_time_domain(bytes(range(256)) * (n_bytes // 256 + 1), get_mcs(mcs_index))
+
+
+class TestPapr:
+    def test_constant_envelope_is_zero(self):
+        tone = np.exp(2j * np.pi * 0.1 * np.arange(1000))
+        assert papr_db(tone) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ofdm_in_physical_range(self):
+        """Real OFDM waveforms sit around 8-12 dB PAPR."""
+        assert 6.0 < papr_db(ofdm_waveform()) < 14.0
+
+    def test_sts_is_low_papr(self):
+        """The STS is built from a sparse grid: low PAPR by design, which
+        is why it's safe to send at full power for detection."""
+        assert papr_db(short_training_sequence()) < papr_db(ofdm_waveform())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            papr_db(np.array([], dtype=complex))
+
+
+class TestSpectrum:
+    def test_tone_concentrates(self):
+        tone = np.exp(2j * np.pi * (8 / 64) * np.arange(64 * 16))
+        spec = power_spectrum(tone, n_fft=64)
+        assert np.argmax(spec) != 32  # not at DC (fftshifted center)
+        assert spec.max() / spec.sum() > 0.95
+
+    def test_ofdm_occupies_52_of_64(self):
+        frac = occupied_bandwidth_fraction(ofdm_waveform(), n_fft=64)
+        assert frac == pytest.approx(52 / 64, abs=0.08)
+
+    def test_sync_header_is_in_band(self):
+        frac = occupied_bandwidth_fraction(sync_header(), n_fft=64)
+        assert frac <= 54 / 64 + 0.05
+
+
+class TestEvm:
+    def test_identical_is_very_low(self):
+        x = np.ones(100, dtype=complex)
+        assert evm_db(x, x) < -200.0
+
+    def test_known_error_level(self):
+        ref = np.ones(10_000, dtype=complex)
+        rng = np.random.default_rng(0)
+        rx = ref + 0.1 * (rng.normal(size=ref.size) + 1j * rng.normal(size=ref.size)) / np.sqrt(2)
+        assert evm_db(rx, ref) == pytest.approx(-20.0, abs=0.5)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            evm_db(np.ones(3), np.ones(4))
+
+
+class TestReport:
+    def test_summary(self):
+        r = analyze_waveform(ofdm_waveform())
+        assert "PAPR" in r.format_summary()
+        assert r.n_samples > 0
+        assert 0.5 < r.mean_power < 1.1  # ~52/64 with unit constellations

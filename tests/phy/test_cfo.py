@@ -1,0 +1,108 @@
+"""CFO estimation, correction and long-term tracking."""
+
+import numpy as np
+import pytest
+
+from repro.phy.cfo import (
+    CfoTracker,
+    apply_cfo,
+    combine_cfo,
+    estimate_cfo_coarse,
+    estimate_cfo_fine,
+)
+from repro.phy.preamble import long_training_sequence, short_training_sequence
+
+FS = 10e6
+
+
+class TestEstimators:
+    @pytest.mark.parametrize("cfo", [-40e3, -5e3, 300.0, 12e3, 80e3])
+    def test_coarse_estimate(self, cfo):
+        sts = apply_cfo(short_training_sequence(), cfo, FS)
+        assert estimate_cfo_coarse(sts, FS) == pytest.approx(cfo, abs=1.0)
+
+    @pytest.mark.parametrize("cfo", [-30e3, -700.0, 4e3, 40e3])
+    def test_fine_estimate(self, cfo):
+        lts = apply_cfo(long_training_sequence(cp_length=0), cfo, FS)
+        assert estimate_cfo_fine(lts, FS) == pytest.approx(cfo, abs=1.0)
+
+    def test_fine_aliases_beyond_range(self):
+        # fine range is +-fs/128 = +-78.125 kHz; 100 kHz wraps
+        lts = apply_cfo(long_training_sequence(cp_length=0), 100e3, FS)
+        est = estimate_cfo_fine(lts, FS)
+        assert est != pytest.approx(100e3, abs=100.0)
+        assert combine_cfo(100e3, est, FS) == pytest.approx(100e3, abs=1.0)
+
+    def test_noise_robustness(self):
+        rng = np.random.default_rng(0)
+        cfo = 7.3e3
+        sts = apply_cfo(short_training_sequence(), cfo, FS)
+        noisy = sts + 0.05 * (
+            rng.normal(size=sts.size) + 1j * rng.normal(size=sts.size)
+        )
+        assert estimate_cfo_coarse(noisy, FS) == pytest.approx(cfo, abs=300.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            estimate_cfo_coarse(np.zeros(10, dtype=complex), FS)
+        with pytest.raises(ValueError):
+            estimate_cfo_fine(np.zeros(100, dtype=complex), FS)
+
+
+class TestApplyCfo:
+    def test_inverse(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=256) + 1j * rng.normal(size=256)
+        y = apply_cfo(apply_cfo(x, 5e3, FS), -5e3, FS)
+        assert np.allclose(y, x)
+
+    def test_start_time_continuity(self):
+        """Chunked correction with start_time equals whole-stream correction."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=200) + 1j * rng.normal(size=200)
+        whole = apply_cfo(x, 3e3, FS)
+        chunked = np.concatenate([
+            apply_cfo(x[:100], 3e3, FS, start_time=0.0),
+            apply_cfo(x[100:], 3e3, FS, start_time=100 / FS),
+        ])
+        assert np.allclose(whole, chunked)
+
+    def test_preserves_magnitude(self):
+        x = np.ones(64, dtype=complex)
+        assert np.allclose(np.abs(apply_cfo(x, 9e3, FS)), 1.0)
+
+
+class TestCfoTracker:
+    def test_first_update_sets_estimate(self):
+        t = CfoTracker()
+        assert t.estimate_hz is None
+        t.update(1000.0)
+        assert t.estimate_hz == 1000.0
+
+    def test_converges_on_noisy_measurements(self):
+        rng = np.random.default_rng(3)
+        t = CfoTracker(alpha=0.1)
+        for _ in range(300):
+            t.update(500.0 + rng.normal(0, 100.0))
+        assert t.estimate_hz == pytest.approx(500.0, abs=60.0)
+
+    def test_weight_override(self):
+        t = CfoTracker(alpha=0.1)
+        t.update(0.0)
+        t.update(1000.0, weight=1.0)
+        assert t.estimate_hz == 1000.0
+
+    def test_predicted_phase(self):
+        t = CfoTracker()
+        t.update(100.0)
+        # 100 Hz for 5 ms = pi radians — the paper's §5.2b numeric example
+        assert t.predicted_phase(5e-3) == pytest.approx(np.pi, rel=1e-9)
+
+    def test_predicted_phase_before_update(self):
+        assert CfoTracker().predicted_phase(1.0) == 0.0
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            CfoTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            CfoTracker(alpha=1.5)

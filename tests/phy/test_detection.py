@@ -1,0 +1,73 @@
+"""Packet detection and timing recovery."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CP_LENGTH, FFT_SIZE
+from repro.phy.detection import detect_packet, ideal_lts_offset, sts_autocorrelation
+from repro.phy.preamble import STS_PERIOD, sync_header
+
+
+def noisy_capture(rng, packet_start=500, snr_db=20.0, total=3000):
+    hdr = sync_header()
+    sig = np.zeros(total, dtype=complex)
+    sig[packet_start : packet_start + hdr.size] = hdr
+    power = np.mean(np.abs(hdr) ** 2)
+    sigma = np.sqrt(power / 10 ** (snr_db / 10) / 2)
+    noise = sigma * (rng.normal(size=total) + 1j * rng.normal(size=total))
+    return sig + noise
+
+
+class TestAutocorrelation:
+    def test_high_on_sts(self):
+        rng = np.random.default_rng(0)
+        capture = noisy_capture(rng)
+        metric = sts_autocorrelation(capture)
+        assert metric[500:560].max() > 0.9
+
+    def test_low_on_noise(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(size=2000) + 1j * rng.normal(size=2000)
+        metric = sts_autocorrelation(noise)
+        assert np.median(metric) < 0.5
+
+    def test_short_input(self):
+        assert sts_autocorrelation(np.zeros(8, dtype=complex)).size == 0
+
+
+class TestDetectPacket:
+    @pytest.mark.parametrize("start", [200, 500, 1100])
+    def test_finds_lts_position(self, start):
+        rng = np.random.default_rng(2)
+        capture = noisy_capture(rng, packet_start=start)
+        result = detect_packet(capture)
+        assert result is not None
+        expected = ideal_lts_offset(start)
+        assert abs(result.lts_start - expected) <= 2
+
+    def test_returns_none_on_pure_noise(self):
+        rng = np.random.default_rng(3)
+        noise = 0.5 * (rng.normal(size=2000) + 1j * rng.normal(size=2000))
+        assert detect_packet(noise) is None
+
+    def test_low_snr_still_detects(self):
+        rng = np.random.default_rng(4)
+        capture = noisy_capture(rng, snr_db=8.0)
+        result = detect_packet(capture, threshold=0.6)
+        assert result is not None
+        assert abs(result.lts_start - ideal_lts_offset(500)) <= 3
+
+    def test_search_start_skips_earlier_packet(self):
+        rng = np.random.default_rng(5)
+        hdr = sync_header()
+        sig = np.zeros(5000, dtype=complex)
+        sig[100 : 100 + hdr.size] = hdr
+        sig[2500 : 2500 + hdr.size] = hdr
+        sig += 0.02 * (rng.normal(size=5000) + 1j * rng.normal(size=5000))
+        second = detect_packet(sig, search_start=1500)
+        assert second is not None
+        assert abs(second.lts_start - ideal_lts_offset(2500)) <= 2
+
+    def test_ideal_offset_layout(self):
+        # 10 STS repetitions + double-length LTS guard
+        assert ideal_lts_offset(0) == 10 * STS_PERIOD + 2 * CP_LENGTH

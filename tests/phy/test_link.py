@@ -1,0 +1,134 @@
+"""Point-to-point packet transport."""
+
+import numpy as np
+import pytest
+
+from repro.channel.medium import Medium
+from repro.channel.models import LinkChannel, RicianChannel
+from repro.channel.oscillator import Oscillator, OscillatorConfig
+from repro.phy.link import PointToPointLink
+from repro.phy.mcs import get_mcs
+
+
+def build_medium(snr_db=25.0, noise=1.0, seed=0, ppm=(1.0, -1.5)):
+    from repro.core.system import OFDM_SIGNAL_POWER
+    from repro.utils.units import db_to_linear
+
+    m = Medium(10e6, noise_power=noise, rng=seed)
+    for name, p in zip(("tx", "rx"), ppm):
+        m.register_node(
+            name,
+            Oscillator(OscillatorConfig(ppm_offset=p, phase_noise_rad2_per_s=0.25),
+                       rng=seed),
+        )
+    gain = db_to_linear(snr_db) * noise / OFDM_SIGNAL_POWER
+    m.set_link("tx", "rx", RicianChannel(k_factor=8.0).realize(gain, rng=seed))
+    return m
+
+
+class TestRoundtrip:
+    def test_payload_delivered(self):
+        m = build_medium()
+        link = PointToPointLink(m)
+        payload = b"control-plane feedback report" * 3
+        decoded = link.exchange("tx", "rx", payload, start_time=1e-3)
+        assert decoded.crc_ok
+        assert decoded.payload == payload
+
+    @pytest.mark.parametrize("mcs_index", [0, 2, 4])
+    def test_various_rates(self, mcs_index):
+        m = build_medium(snr_db=28.0, seed=2)
+        link = PointToPointLink(m, mcs=get_mcs(mcs_index))
+        decoded = link.exchange("tx", "rx", bytes(range(100)), start_time=1e-3)
+        assert decoded.crc_ok
+
+    def test_cfo_survives(self):
+        """kHz-scale oscillator offsets are corrected by the preamble."""
+        m = build_medium(seed=3, ppm=(2.0, -2.0))  # ~9.6 kHz relative
+        link = PointToPointLink(m)
+        decoded = link.exchange("tx", "rx", b"offset tolerant", start_time=1e-3)
+        assert decoded.crc_ok
+
+    def test_low_snr_fails_crc(self):
+        m = build_medium(snr_db=-5.0, seed=4)
+        link = PointToPointLink(m, mcs=get_mcs(4))
+        decoded = link.exchange("tx", "rx", bytes(60), start_time=1e-3)
+        assert not decoded.crc_ok
+
+    def test_packet_length_helper(self):
+        m = build_medium(seed=5)
+        link = PointToPointLink(m)
+        payload = bytes(77)
+        packet = link.send("tx", payload, 1e-3)
+        assert packet.n_samples == link.packet_samples(77)
+
+
+class TestCsiSerialization:
+    def test_roundtrip_exact_shape(self):
+        from repro.core.feedback import deserialize_report, serialize_report
+
+        rng = np.random.default_rng(0)
+        ch = rng.normal(size=(52, 3)) + 1j * rng.normal(size=(52, 3))
+        data = serialize_report(ch, noise_power=0.7, bits=8)
+        recon, noise = deserialize_report(data)
+        assert recon.shape == (52, 3)
+        assert noise == pytest.approx(0.7, rel=1e-6)
+        # 8-bit fixed point: ~2% worst-case error on a unit-scale report
+        assert np.max(np.abs(recon - ch)) < 0.05 * np.max(np.abs(ch))
+
+    def test_16_bit_is_tighter(self):
+        from repro.core.feedback import deserialize_report, serialize_report
+
+        rng = np.random.default_rng(1)
+        ch = rng.normal(size=(52, 2)) + 1j * rng.normal(size=(52, 2))
+        err8 = np.max(np.abs(deserialize_report(serialize_report(ch, 0.1, 8))[0] - ch))
+        err16 = np.max(np.abs(deserialize_report(serialize_report(ch, 0.1, 16))[0] - ch))
+        assert err16 < err8 / 100
+
+    def test_malformed_rejected(self):
+        from repro.core.feedback import deserialize_report
+
+        with pytest.raises(ValueError):
+            deserialize_report(b"notacsireport")
+        with pytest.raises(ValueError):
+            deserialize_report(bytes(5))
+
+    def test_report_size_scales(self):
+        from repro.core.feedback import serialize_report
+
+        rng = np.random.default_rng(2)
+        small = serialize_report(rng.normal(size=(52, 2)) + 0j, 0.1, 8)
+        large = serialize_report(rng.normal(size=(52, 10)) + 0j, 0.1, 8)
+        assert len(large) > 4 * len(small)
+
+
+class TestInBandFeedback:
+    def test_sounding_with_over_the_air_reports(self):
+        from repro import MegaMimoSystem, SystemConfig, get_mcs
+
+        config = SystemConfig(n_aps=2, n_clients=2, seed=4, in_band_feedback=True)
+        system = MegaMimoSystem.create(
+            config, client_snr_db=25.0, channel_model=RicianChannel(k_factor=7.0)
+        )
+        system.run_sounding(0.0)
+        assert system.feedback_failures == 0
+        payloads = [b"A" * 25, b"B" * 25]
+        report = system.joint_transmit(payloads, get_mcs(2), start_time=3e-3)
+        assert [r.decoded.payload for r in report.receptions] == payloads
+
+    def test_quantized_feedback_close_to_ideal(self):
+        from repro import MegaMimoSystem, SystemConfig
+
+        tensors = {}
+        for in_band in (False, True):
+            config = SystemConfig(
+                n_aps=2, n_clients=2, seed=8, in_band_feedback=in_band
+            )
+            system = MegaMimoSystem.create(
+                config, client_snr_db=25.0, channel_model=RicianChannel(k_factor=7.0)
+            )
+            system.run_sounding(0.0)
+            tensors[in_band] = system._channel_tensor
+        scale = np.mean(np.abs(tensors[False]))
+        err = np.mean(np.abs(tensors[True] - tensors[False]))
+        assert err < 0.05 * scale  # 8-bit quantization only

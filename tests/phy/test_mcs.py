@@ -1,0 +1,53 @@
+"""MCS table."""
+
+import pytest
+
+from repro.phy.mcs import ALL_MCS, get_mcs, mcs_by_name
+
+
+class TestTable:
+    def test_eight_entries(self):
+        assert len(ALL_MCS) == 8
+
+    def test_indices_consistent(self):
+        for i, mcs in enumerate(ALL_MCS):
+            assert mcs.index == i
+            assert get_mcs(i) is mcs
+
+    def test_80211a_rates_at_20mhz(self):
+        expected_mbps = [6, 9, 12, 18, 24, 36, 48, 54]
+        for mcs, mbps in zip(ALL_MCS, expected_mbps):
+            assert mcs.bitrate(20e6) == pytest.approx(mbps * 1e6)
+
+    def test_usrp_rates_halved_at_10mhz(self):
+        for mcs in ALL_MCS:
+            assert mcs.bitrate(10e6) == pytest.approx(mcs.bitrate(20e6) / 2)
+
+    def test_thresholds_monotonic(self):
+        snrs = [m.min_snr_db for m in ALL_MCS]
+        assert snrs == sorted(snrs)
+
+    def test_rates_monotonic(self):
+        rates = [m.bitrate(20e6) for m in ALL_MCS]
+        assert rates == sorted(rates)
+
+    def test_coded_bits_per_symbol(self):
+        assert get_mcs(0).coded_bits_per_symbol == 48
+        assert get_mcs(7).coded_bits_per_symbol == 288
+
+    def test_data_bits_per_symbol(self):
+        # 802.11-2012 Table 18-4 N_DBPS values
+        expected = [24, 36, 48, 72, 96, 144, 192, 216]
+        assert [m.data_bits_per_symbol for m in ALL_MCS] == expected
+
+    def test_lookup_by_name(self):
+        assert mcs_by_name("QPSK-3/4").index == 3
+
+    def test_bad_lookups(self):
+        with pytest.raises(IndexError):
+            get_mcs(8)
+        with pytest.raises(KeyError):
+            mcs_by_name("128QAM-7/8")
+
+    def test_modulation_attached(self):
+        assert get_mcs(4).modulation.bits_per_symbol == 4

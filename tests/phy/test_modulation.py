@@ -1,0 +1,98 @@
+"""Constellation mapping."""
+
+import numpy as np
+import pytest
+
+from repro.phy.modulation import get_modulation
+
+ALL_NAMES = ["BPSK", "QPSK", "16QAM", "64QAM"]
+
+
+class TestConstellationProperties:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_unit_average_energy(self, name):
+        mod = get_modulation(name)
+        assert np.mean(np.abs(mod.points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_point_count(self, name):
+        mod = get_modulation(name)
+        assert len(mod.points) == 2**mod.bits_per_symbol
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_points_distinct(self, name):
+        mod = get_modulation(name)
+        assert len(set(np.round(mod.points, 9))) == len(mod.points)
+
+    def test_bpsk_is_real(self):
+        mod = get_modulation("BPSK")
+        assert np.allclose(mod.points.imag, 0.0)
+
+    def test_4qam_alias(self):
+        assert get_modulation("4QAM").bits_per_symbol == 2
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_modulation("256QAM")
+
+    @pytest.mark.parametrize("name", ["16QAM", "64QAM"])
+    def test_gray_mapping_neighbours_differ_by_one_bit(self, name):
+        """Nearest geometric neighbours differ in exactly one bit label."""
+        mod = get_modulation(name)
+        pts = mod.points
+        d_min = mod.min_distance
+        n = len(pts)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if abs(pts[i] - pts[j]) < d_min * 1.01:
+                    assert bin(i ^ j).count("1") == 1
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_modulate_demodulate(self, name):
+        mod = get_modulation(name)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 600 * mod.bits_per_symbol).astype(np.uint8)
+        symbols = mod.modulate(bits)
+        assert np.array_equal(mod.demodulate_hard(symbols), bits)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_roundtrip_with_small_noise(self, name):
+        mod = get_modulation(name)
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 120 * mod.bits_per_symbol).astype(np.uint8)
+        symbols = mod.modulate(bits)
+        noisy = symbols + 0.01 * (rng.normal(size=symbols.size) + 1j * rng.normal(size=symbols.size))
+        assert np.array_equal(mod.demodulate_hard(noisy), bits)
+
+    def test_modulate_rejects_ragged_input(self):
+        mod = get_modulation("16QAM")
+        with pytest.raises(ValueError):
+            mod.modulate(np.zeros(7, dtype=np.uint8))
+
+
+class TestSoftDemod:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_llr_sign_matches_hard_decision(self, name):
+        mod = get_modulation(name)
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 90 * mod.bits_per_symbol).astype(np.uint8)
+        symbols = mod.modulate(bits)
+        llrs = mod.demodulate_soft(symbols, noise_var=0.1)
+        # positive LLR means bit 0
+        decided = (llrs < 0).astype(np.uint8)
+        assert np.array_equal(decided, bits)
+
+    def test_llr_magnitude_scales_inverse_noise(self):
+        mod = get_modulation("QPSK")
+        sym = mod.modulate(np.array([0, 0], dtype=np.uint8))
+        quiet = mod.demodulate_soft(sym, noise_var=0.01)
+        loud = mod.demodulate_soft(sym, noise_var=1.0)
+        assert np.all(np.abs(quiet) > np.abs(loud))
+
+    def test_ambiguous_symbol_gives_small_llr(self):
+        mod = get_modulation("BPSK")
+        llr_mid = mod.demodulate_soft(np.array([0.0 + 0j]), noise_var=1.0)
+        llr_edge = mod.demodulate_soft(np.array([1.0 + 0j]), noise_var=1.0)
+        assert abs(llr_mid[0]) < abs(llr_edge[0])

@@ -1,0 +1,155 @@
+"""OFDM modulation, pilots and phase tracking."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    CP_LENGTH,
+    DATA_SUBCARRIERS,
+    FFT_SIZE,
+    N_DATA_SUBCARRIERS,
+    PILOT_SUBCARRIERS,
+    SYMBOL_LENGTH,
+)
+from repro.phy.modulation import get_modulation
+from repro.phy.ofdm import OfdmDemodulator, OfdmModulator, subcarrier_to_fft_index
+
+
+@pytest.fixture
+def mod():
+    return OfdmModulator()
+
+
+@pytest.fixture
+def demod():
+    return OfdmDemodulator()
+
+
+def random_data_symbols(rng, n=1):
+    qpsk = get_modulation("QPSK")
+    bits = rng.integers(0, 2, n * N_DATA_SUBCARRIERS * 2).astype(np.uint8)
+    return qpsk.modulate(bits).reshape(n, N_DATA_SUBCARRIERS)
+
+
+class TestGrid:
+    def test_subcarrier_mapping(self):
+        assert subcarrier_to_fft_index(np.array([1]))[0] == 1
+        assert subcarrier_to_fft_index(np.array([-1]))[0] == FFT_SIZE - 1
+        assert subcarrier_to_fft_index(np.array([-26]))[0] == 38
+
+    def test_numerology(self):
+        assert N_DATA_SUBCARRIERS == 48
+        assert len(PILOT_SUBCARRIERS) == 4
+        assert set(PILOT_SUBCARRIERS.tolist()) & set(DATA_SUBCARRIERS.tolist()) == set()
+
+    def test_dc_bin_is_empty(self, mod, rng=np.random.default_rng(0)):
+        grid = mod.symbol_grid(random_data_symbols(rng)[0])
+        assert grid[0] == 0
+
+    def test_guard_bins_empty(self, mod):
+        rng = np.random.default_rng(0)
+        grid = mod.symbol_grid(random_data_symbols(rng)[0])
+        for k in range(27, 38):  # bins for subcarriers 27..31 and -32..-27
+            assert grid[k] == 0
+
+
+class TestCyclicPrefix:
+    def test_symbol_length(self, mod):
+        rng = np.random.default_rng(1)
+        out = mod.modulate_symbol(random_data_symbols(rng)[0])
+        assert out.size == SYMBOL_LENGTH
+
+    def test_prefix_copies_tail(self, mod):
+        rng = np.random.default_rng(1)
+        out = mod.modulate_symbol(random_data_symbols(rng)[0])
+        assert np.allclose(out[:CP_LENGTH], out[-CP_LENGTH:])
+
+
+class TestRoundtrip:
+    def test_clean_channel(self, mod, demod):
+        rng = np.random.default_rng(2)
+        data = random_data_symbols(rng)[0]
+        samples = mod.modulate_symbol(data, symbol_index=3)
+        eq = demod.demodulate_symbol(samples, np.ones(FFT_SIZE), symbol_index=3)
+        assert np.allclose(eq.data, data, atol=1e-9)
+        assert eq.common_phase == pytest.approx(0.0, abs=1e-9)
+
+    def test_flat_channel_equalized(self, mod, demod):
+        rng = np.random.default_rng(3)
+        data = random_data_symbols(rng)[0]
+        h = 0.8 * np.exp(1j * 1.1)
+        samples = mod.modulate_symbol(data) * h
+        eq = demod.demodulate_symbol(samples, np.full(FFT_SIZE, h))
+        assert np.allclose(eq.data, data, atol=1e-9)
+
+    def test_pilot_polarity_mismatch_shows_up_as_phase(self, mod, demod):
+        """Using the wrong symbol index rotates via the pilot polarity."""
+        rng = np.random.default_rng(4)
+        data = random_data_symbols(rng)[0]
+        samples = mod.modulate_symbol(data, symbol_index=4)  # polarity -1
+        eq_right = demod.demodulate_symbol(samples, np.ones(FFT_SIZE), symbol_index=4)
+        assert np.allclose(eq_right.data, data, atol=1e-9)
+
+    def test_common_phase_error_removed(self, mod, demod):
+        rng = np.random.default_rng(5)
+        data = random_data_symbols(rng)[0]
+        phase = 0.4
+        samples = mod.modulate_symbol(data) * np.exp(1j * phase)
+        eq = demod.demodulate_symbol(samples, np.ones(FFT_SIZE))
+        assert eq.common_phase == pytest.approx(phase, abs=1e-6)
+        assert np.allclose(eq.data, data, atol=1e-9)
+
+    def test_phase_tracking_can_be_disabled(self, mod, demod):
+        rng = np.random.default_rng(6)
+        data = random_data_symbols(rng)[0]
+        samples = mod.modulate_symbol(data) * np.exp(1j * 0.4)
+        eq = demod.demodulate_symbol(samples, np.ones(FFT_SIZE), track_phase=False)
+        assert not np.allclose(eq.data, data, atol=1e-3)
+
+    def test_frame_roundtrip(self, mod, demod):
+        rng = np.random.default_rng(7)
+        data = random_data_symbols(rng, n=5)
+        frame = mod.modulate_frame(data)
+        assert frame.size == 5 * SYMBOL_LENGTH
+        for m in range(5):
+            eq = demod.demodulate_symbol(
+                frame[m * SYMBOL_LENGTH : (m + 1) * SYMBOL_LENGTH],
+                np.ones(FFT_SIZE),
+                symbol_index=m,
+            )
+            assert np.allclose(eq.data, data[m], atol=1e-9)
+
+
+class TestPilotSnr:
+    def test_high_snr_reported_clean(self, mod, demod):
+        rng = np.random.default_rng(8)
+        data = random_data_symbols(rng)[0]
+        samples = mod.modulate_symbol(data)
+        eq = demod.demodulate_symbol(samples, np.ones(FFT_SIZE))
+        assert eq.pilot_snr > 1e6
+
+    def test_noisy_symbol_lower_snr(self, mod, demod):
+        rng = np.random.default_rng(9)
+        data = random_data_symbols(rng)[0]
+        samples = mod.modulate_symbol(data)
+        noisy = samples + 0.1 * (
+            rng.normal(size=samples.size) + 1j * rng.normal(size=samples.size)
+        )
+        eq = demod.demodulate_symbol(noisy, np.ones(FFT_SIZE))
+        assert 1.0 < eq.pilot_snr < 1e4
+
+
+class TestValidation:
+    def test_wrong_sample_count(self, demod):
+        with pytest.raises(ValueError):
+            demod.demodulate_symbol(np.zeros(10), np.ones(FFT_SIZE))
+
+    def test_wrong_data_count(self, mod):
+        with pytest.raises(ValueError):
+            mod.modulate_symbol(np.zeros(10))
+
+    def test_wrong_channel_size(self, mod, demod):
+        rng = np.random.default_rng(10)
+        samples = mod.modulate_symbol(random_data_symbols(rng)[0])
+        with pytest.raises(ValueError):
+            demod.demodulate_symbol(samples, np.ones(32))

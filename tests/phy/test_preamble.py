@@ -1,0 +1,79 @@
+"""Training sequences and the MegaMIMO sync header."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CP_LENGTH, FFT_SIZE
+from repro.phy.preamble import (
+    STS_PERIOD,
+    SYNC_HEADER_LTS_REPEATS,
+    long_training_sequence,
+    lts_grid,
+    lts_symbol_offsets,
+    short_training_sequence,
+    sync_header,
+    sync_header_length,
+)
+
+
+class TestSts:
+    def test_length(self):
+        assert short_training_sequence().size == 10 * STS_PERIOD
+
+    def test_periodicity(self):
+        sts = short_training_sequence()
+        assert np.allclose(sts[:STS_PERIOD], sts[STS_PERIOD : 2 * STS_PERIOD])
+
+    def test_custom_repeats(self):
+        assert short_training_sequence(repeats=4).size == 4 * STS_PERIOD
+
+    def test_nonzero_power(self):
+        sts = short_training_sequence()
+        assert np.mean(np.abs(sts) ** 2) > 0.1
+
+
+class TestLts:
+    def test_grid_occupies_52_bins(self):
+        assert int(np.sum(np.abs(lts_grid()) > 0)) == 52
+
+    def test_grid_is_bpsk(self):
+        grid = lts_grid()
+        occupied = grid[np.abs(grid) > 0]
+        assert np.allclose(np.abs(occupied), 1.0)
+        assert np.allclose(occupied.imag, 0.0)
+
+    def test_default_structure(self):
+        lts = long_training_sequence()
+        assert lts.size == 2 * CP_LENGTH + 2 * FFT_SIZE
+
+    def test_guard_is_cyclic(self):
+        lts = long_training_sequence()
+        assert np.allclose(lts[: 2 * CP_LENGTH], lts[-2 * CP_LENGTH :])
+
+    def test_copies_identical(self):
+        lts = long_training_sequence()
+        body = lts[2 * CP_LENGTH :]
+        assert np.allclose(body[:FFT_SIZE], body[FFT_SIZE:])
+
+
+class TestSyncHeader:
+    def test_length_matches_helper(self):
+        assert sync_header().size == sync_header_length()
+
+    def test_offsets_point_at_identical_copies(self):
+        hdr = sync_header()
+        offsets = lts_symbol_offsets()
+        copies = [hdr[o : o + FFT_SIZE] for o in offsets]
+        assert np.allclose(copies[0], copies[1])
+
+    def test_starts_with_sts(self):
+        hdr = sync_header()
+        assert np.allclose(hdr[:STS_PERIOD], hdr[STS_PERIOD : 2 * STS_PERIOD])
+
+    def test_repeat_count_configurable(self):
+        assert sync_header(lts_repeats=3).size == sync_header_length(3)
+        assert sync_header_length(3) - sync_header_length(2) == FFT_SIZE
+
+    def test_default_uses_couple_of_symbols(self):
+        # "MegaMIMO precedes every data packet with a couple of symbols" (§1)
+        assert SYNC_HEADER_LTS_REPEATS == 2

@@ -1,0 +1,99 @@
+"""Monitor-mode packet sniffer."""
+
+import numpy as np
+import pytest
+
+from repro.phy.link import PointToPointLink
+from repro.phy.mcs import get_mcs
+from repro.phy.sniffer import PacketSniffer
+
+FS = 10e6
+
+
+def capture_with_packets(payloads, snr_db=25.0, seed=0, gap=800):
+    """A noisy capture containing the given frames back to back."""
+    rng = np.random.default_rng(seed)
+    from repro.channel.medium import Medium  # reuse the link's waveform builder
+
+    link = PointToPointLink(Medium(FS, noise_power=0.0), mcs=get_mcs(2))
+    chunks = [np.zeros(gap, dtype=complex)]
+    for p in payloads:
+        chunks.append(link.waveform(p))
+        chunks.append(np.zeros(gap, dtype=complex))
+    clean = np.concatenate(chunks)
+    power = np.mean(np.abs(clean[np.abs(clean) > 0]) ** 2)
+    sigma = np.sqrt(power / 10 ** (snr_db / 10) / 2)
+    noise = sigma * (rng.normal(size=clean.size) + 1j * rng.normal(size=clean.size))
+    return clean + noise
+
+
+class TestSniffer:
+    def test_single_packet(self):
+        capture = capture_with_packets([b"hello monitor mode!"])
+        packets = PacketSniffer(FS).sniff(capture)
+        assert len(packets) == 1
+        assert packets[0].decoded.crc_ok
+        assert packets[0].decoded.payload == b"hello monitor mode!"
+
+    def test_multiple_packets_in_order(self):
+        payloads = [bytes([i]) * (20 + 5 * i) for i in range(4)]
+        capture = capture_with_packets(payloads, seed=1)
+        packets = PacketSniffer(FS).sniff(capture)
+        assert len(packets) == 4
+        assert [p.decoded.payload for p in packets] == payloads
+        offsets = [p.sample_offset for p in packets]
+        assert offsets == sorted(offsets)
+
+    def test_cfo_reported(self):
+        from repro.phy.cfo import apply_cfo
+
+        capture = apply_cfo(capture_with_packets([bytes(40)], seed=2), 4e3, FS)
+        packets = PacketSniffer(FS).sniff(capture)
+        assert len(packets) == 1
+        assert packets[0].cfo_hz == pytest.approx(4e3, abs=200.0)
+        assert packets[0].decoded.crc_ok
+
+    def test_pure_noise_finds_nothing(self):
+        rng = np.random.default_rng(3)
+        noise = rng.normal(size=8000) + 1j * rng.normal(size=8000)
+        assert PacketSniffer(FS).sniff(noise) == []
+
+    def test_truncated_final_packet_reported_not_crashed(self):
+        capture = capture_with_packets([bytes(300)], seed=4)
+        truncated = capture[: capture.size // 2]
+        packets = PacketSniffer(FS).sniff(truncated)
+        assert all(not p.decoded.crc_ok for p in packets)
+
+    def test_max_packets_cap(self):
+        payloads = [bytes(15)] * 5
+        capture = capture_with_packets(payloads, seed=5)
+        packets = PacketSniffer(FS).sniff(capture, max_packets=2)
+        assert len(packets) == 2
+
+    def test_sniffs_a_real_medium_capture(self):
+        """Sniff what a bystander node hears while a link exchanges frames."""
+        from repro.channel.medium import Medium
+        from repro.channel.models import RicianChannel
+        from repro.channel.oscillator import Oscillator, OscillatorConfig
+        from repro.core.system import OFDM_SIGNAL_POWER
+        from repro.utils.units import db_to_linear
+
+        m = Medium(FS, noise_power=1.0, rng=6)
+        for name, ppm in (("tx", 1.0), ("spy", -0.5)):
+            m.register_node(
+                name, Oscillator(OscillatorConfig(ppm_offset=ppm), rng=7)
+            )
+        gain = db_to_linear(25.0) / OFDM_SIGNAL_POWER
+        m.set_link("tx", "spy", RicianChannel(k_factor=8.0).realize(gain, rng=8))
+
+        link = PointToPointLink(m, mcs=get_mcs(2))
+        sent = [b"first frame!" * 2, b"second frame!" * 2]
+        t = 1e-3
+        for p in sent:
+            pkt = link.send("tx", p, t)
+            t += pkt.n_samples / FS + 500 / FS
+
+        capture = m.receive("spy", 0.5e-3, int((t + 1e-3) * FS - 0.5e-3 * FS))
+        packets = PacketSniffer(FS).sniff(capture)
+        got = [p.decoded.payload for p in packets if p.decoded.crc_ok]
+        assert got == sent

@@ -1,0 +1,115 @@
+"""Property-based tests of the beamforming invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.channel.models import random_channel_matrix
+from repro.core.beamforming import (
+    diversity_precoder,
+    effective_channel,
+    sinr_after_beamforming,
+    zero_forcing_precoder,
+    zero_forcing_precoder_wideband,
+)
+
+
+def well_conditioned_matrix(n, seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(50):
+        h = random_channel_matrix(n, n, rng=rng)
+        if np.linalg.cond(h) < 50:
+            return h
+    return h
+
+
+class TestZfInvariants:
+    @given(n=st.integers(2, 6), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_diagonalization(self, n, seed):
+        h = well_conditioned_matrix(n, seed)
+        w, k = zero_forcing_precoder(h)
+        eff = effective_channel(h, w)
+        assert np.allclose(eff, k * np.eye(n), atol=1e-8 * abs(k) + 1e-10)
+
+    @given(n=st.integers(2, 6), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_power_constraint_binding(self, n, seed):
+        h = well_conditioned_matrix(n, seed)
+        w, _ = zero_forcing_precoder(h, max_power_per_antenna=1.0)
+        row_power = np.sum(np.abs(w) ** 2, axis=1)
+        assert np.all(row_power <= 1.0 + 1e-9)
+        assert np.max(row_power) == pytest.approx(1.0, rel=1e-9)
+
+    @given(n=st.integers(2, 5), seed=st.integers(0, 2**31), scale=st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_k_scales_linearly_with_channel(self, n, seed, scale):
+        """Scaling the channel by a scales k by a (SNR by a^2)."""
+        h = well_conditioned_matrix(n, seed)
+        _, k1 = zero_forcing_precoder(h)
+        _, k2 = zero_forcing_precoder(scale * h)
+        assert k2 == pytest.approx(scale * k1, rel=1e-9)
+
+    @given(
+        n=st.integers(2, 4),
+        seed=st.integers(0, 2**31),
+        errs=st.lists(st.floats(0.05, 0.5), min_size=4, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_differential_misalignment_creates_interference(self, n, seed, errs):
+        """Perfect alignment has exactly zero inter-stream interference;
+        any *differential* phase error leaks nonzero interference power."""
+        h = well_conditioned_matrix(n, seed)
+        w, _ = zero_forcing_precoder(h)
+        clean_eff = effective_channel(h, w)
+        off = clean_eff - np.diag(np.diag(clean_eff))
+        assert np.allclose(off, 0.0, atol=1e-9)
+        # alternate signs so errors are differential, never common
+        errors = np.array(errs[:n]) * np.array([(-1) ** i for i in range(n)])
+        dirty_eff = effective_channel(h, w, errors)
+        off = dirty_eff - np.diag(np.diag(dirty_eff))
+        assert np.sum(np.abs(off) ** 2) > 1e-12
+
+    @given(n=st.integers(2, 4), seed=st.integers(0, 2**31), phi=st.floats(-3, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_common_rotation_harmless(self, n, seed, phi):
+        """Rotating *all* antennas together is invisible to every client."""
+        h = well_conditioned_matrix(n, seed)
+        w, k = zero_forcing_precoder(h)
+        noise = k**2 / 50
+        clean = sinr_after_beamforming(h, w, noise)
+        rotated = sinr_after_beamforming(h, w, noise, np.full(n, phi))
+        assert np.allclose(rotated, clean, rtol=1e-9)
+
+
+class TestWidebandInvariants:
+    @given(n=st.integers(2, 4), n_bins=st.integers(2, 8), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_flat_effective_channel(self, n, n_bins, seed):
+        channels = np.stack(
+            [well_conditioned_matrix(n, seed + b) for b in range(n_bins)]
+        )
+        precoders, k = zero_forcing_precoder_wideband(channels)
+        for b in range(n_bins):
+            eff = channels[b] @ precoders[b]
+            assert np.allclose(eff, k * np.eye(n), atol=1e-7 * abs(k) + 1e-10)
+
+
+class TestDiversityInvariants:
+    @given(n=st.integers(1, 12), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_received_amplitude_is_sum_of_magnitudes(self, n, seed):
+        rng = np.random.default_rng(seed)
+        row = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assume(np.all(np.abs(row) > 1e-9))
+        combined = row @ diversity_precoder(row)
+        assert combined.real == pytest.approx(np.sum(np.abs(row)), rel=1e-9)
+
+    @given(n=st.integers(2, 12), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_coherent_beats_any_single_antenna(self, n, seed):
+        rng = np.random.default_rng(seed)
+        row = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assume(np.all(np.abs(row) > 1e-9))
+        combined = abs(row @ diversity_precoder(row))
+        assert combined >= np.max(np.abs(row)) - 1e-12

@@ -1,0 +1,152 @@
+"""Property-based tests of the channel/oscillator substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.medium import fractional_delay
+from repro.channel.oscillator import Oscillator, OscillatorConfig
+from repro.mac.rate import ber_for_modulation, effective_snr_db, snr_for_ber
+from repro.utils.units import db_to_linear, linear_to_db, wrap_phase
+
+
+class TestOscillatorProperties:
+    @given(seed=st.integers(0, 2**31), t=st.floats(0.0, 0.05))
+    @settings(max_examples=40, deadline=None)
+    def test_phase_query_idempotent(self, seed, t):
+        osc = Oscillator(OscillatorConfig(ppm_offset=1.0, phase_noise_rad2_per_s=0.5), rng=seed)
+        assert osc.phase_at([t])[0] == osc.phase_at([t])[0]
+
+    @given(seed=st.integers(0, 2**31), ppm=st.floats(-20.0, 20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_part_linear_in_time(self, seed, ppm):
+        osc = Oscillator(OscillatorConfig(ppm_offset=ppm, phase_noise_rad2_per_s=0.0))
+        t = np.array([1e-3, 2e-3, 3e-3])
+        phases = osc.phase_at(t) - osc.config.initial_phase
+        diffs = np.diff(phases)
+        assert diffs[0] == pytest.approx(diffs[1], rel=1e-9, abs=1e-12)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_query_order_does_not_matter(self, seed):
+        a = Oscillator(OscillatorConfig(phase_noise_rad2_per_s=1.0), rng=seed)
+        b = Oscillator(OscillatorConfig(phase_noise_rad2_per_s=1.0), rng=seed)
+        times = np.array([5e-3, 1e-3, 3e-3])
+        fwd = a.phase_noise_at(np.sort(times))
+        mixed = b.phase_noise_at(times)
+        assert np.allclose(np.sort(fwd), np.sort(mixed))
+
+
+class TestFractionalDelayProperties:
+    @given(
+        seed=st.integers(0, 2**31),
+        frac=st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_energy_approximately_preserved(self, seed, frac):
+        rng = np.random.default_rng(seed)
+        # band-limited signal (smooth) so sinc interpolation is benign
+        x = np.convolve(
+            rng.normal(size=256) + 1j * rng.normal(size=256), np.ones(8) / 8, "same"
+        )
+        y = fractional_delay(x, frac)
+        assert np.sum(np.abs(y) ** 2) == pytest.approx(
+            np.sum(np.abs(x) ** 2), rel=0.1
+        )
+
+    @given(n=st.integers(0, 10))
+    @settings(max_examples=11, deadline=None)
+    def test_integer_delay_exact(self, n):
+        x = np.arange(20, dtype=complex)
+        y = fractional_delay(x, float(n))
+        assert np.allclose(y[n : n + 20], x)
+
+
+class TestUnitProperties:
+    @given(v=st.floats(1e-6, 1e6))
+    @settings(max_examples=40, deadline=None)
+    def test_db_roundtrip(self, v):
+        assert db_to_linear(linear_to_db(v)) == pytest.approx(v, rel=1e-9)
+
+    @given(phase=st.floats(-100.0, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_wrap_phase_range_and_equivalence(self, phase):
+        w = wrap_phase(phase)
+        assert -np.pi <= w <= np.pi
+        assert np.exp(1j * w) == pytest.approx(np.exp(1j * phase), abs=1e-9)
+
+
+class TestRateProperties:
+    @given(bits=st.sampled_from([1, 2, 4, 6]), snr_db=st.floats(-5.0, 35.0))
+    @settings(max_examples=40, deadline=None)
+    def test_ber_in_unit_interval(self, bits, snr_db):
+        ber = float(ber_for_modulation(db_to_linear(snr_db), bits))
+        assert 0.0 <= ber <= 1.0
+
+    @given(bits=st.sampled_from([1, 2, 4, 6]), snr_db=st.floats(0.0, 28.0))
+    @settings(max_examples=40, deadline=None)
+    def test_effective_snr_of_flat_channel_is_identity(self, bits, snr_db):
+        flat = np.full(48, snr_db)
+        assert effective_snr_db(flat, bits) == pytest.approx(snr_db, abs=0.05)
+
+    @given(
+        bits=st.sampled_from([1, 2, 4, 6]),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_effective_snr_bounded_by_extremes(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        snrs = rng.uniform(0.0, 25.0, 48)
+        eff = effective_snr_db(snrs, bits)
+        assert snrs.min() - 0.1 <= eff <= snrs.max() + 0.1
+
+
+class TestMediumLinearityProperties:
+    @given(seed=st.integers(0, 2**31), n_tx=st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_superposition_is_linear(self, seed, n_tx):
+        """What a receiver hears from N concurrent transmitters equals the
+        sum of what it would hear from each alone (noise off)."""
+        from repro.channel.medium import Medium
+        from repro.channel.models import LinkChannel
+        from repro.channel.oscillator import Oscillator, OscillatorConfig
+
+        rng = np.random.default_rng(seed)
+
+        def build():
+            m = Medium(10e6, noise_power=0.0, rng=0)
+            for i in range(n_tx):
+                m.register_node(
+                    f"tx{i}",
+                    Oscillator(
+                        OscillatorConfig(
+                            ppm_offset=float(i) - 1.0, phase_noise_rad2_per_s=0.0
+                        )
+                    ),
+                )
+            m.register_node(
+                "rx", Oscillator(OscillatorConfig(phase_noise_rad2_per_s=0.0))
+            )
+            for i in range(n_tx):
+                m.set_link(
+                    f"tx{i}", "rx",
+                    LinkChannel(taps=np.array([0.5 + 0.1j * i, 0.1 + 0j])),
+                )
+            return m
+
+        signals = [
+            rng.normal(size=64) + 1j * rng.normal(size=64) for _ in range(n_tx)
+        ]
+
+        combined = build()
+        for i, x in enumerate(signals):
+            combined.transmit(f"tx{i}", x, 0.0)
+        together = combined.receive("rx", 0.0, 80)
+
+        alone_sum = np.zeros(80, dtype=complex)
+        for i, x in enumerate(signals):
+            m = build()
+            m.transmit(f"tx{i}", x, 0.0)
+            alone_sum += m.receive("rx", 0.0, 80)
+
+        assert np.allclose(together, alone_sum, atol=1e-9)

@@ -1,0 +1,97 @@
+"""Property-based tests of the link-layer invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mac.queue import DownlinkQueue
+from repro.mac.rate import EffectiveSnrRateSelector, select_mcs_for_snr
+from repro.mac.scheduler import JointScheduler
+from repro.phy.mcs import ALL_MCS
+
+client_sequences = st.lists(st.integers(0, 5), min_size=1, max_size=20)
+
+
+def fresh_queue(n_clients=6, n_aps=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return DownlinkQueue(rng.uniform(5, 25, (n_clients, n_aps)))
+
+
+class TestQueueInvariants:
+    @given(clients=client_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_head_is_first_enqueued(self, clients):
+        q = fresh_queue()
+        packets = [q.enqueue(c) for c in clients]
+        assert q.head() is packets[0]
+
+    @given(clients=client_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_designation_always_strongest(self, clients):
+        q = fresh_queue(seed=3)
+        for c in clients:
+            p = q.enqueue(c)
+            assert p.designated_ap == int(np.argmax(q.client_ap_snr_db[c]))
+
+    @given(clients=client_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_length_bookkeeping(self, clients):
+        q = fresh_queue()
+        packets = [q.enqueue(c) for c in clients]
+        assert len(q) == len(clients)
+        for p in packets:
+            q.remove(p)
+        assert len(q) == 0
+
+
+class TestSchedulerInvariants:
+    @given(clients=client_sequences, budget=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_group_structure(self, clients, budget):
+        """Every group: head first, one packet per client, within budget,
+        and repeated scheduling drains the queue completely."""
+        q = fresh_queue(seed=1)
+        for c in clients:
+            q.enqueue(c)
+        scheduler = JointScheduler(q, max_streams=budget)
+        total = 0
+        while True:
+            before_head = q.head()
+            group = scheduler.next_group()
+            if group is None:
+                break
+            assert group.packets[0] is before_head
+            assert len(group.packets) <= budget
+            assert len({p.client for p in group.packets}) == len(group.packets)
+            assert group.lead_ap == before_head.designated_ap
+            total += len(group.packets)
+        assert total == len(clients)
+        assert len(q) == 0
+
+
+class TestRateSelectorInvariants:
+    @given(snr=st.floats(-10.0, 40.0))
+    @settings(max_examples=60, deadline=None)
+    def test_selected_mcs_threshold_respected(self, snr):
+        mcs = select_mcs_for_snr(snr)
+        if mcs is None:
+            assert snr < ALL_MCS[0].min_snr_db
+        else:
+            assert snr >= mcs.min_snr_db
+            # and nothing faster qualifies
+            if mcs.index < 7:
+                assert snr < ALL_MCS[mcs.index + 1].min_snr_db
+
+    @given(
+        seed=st.integers(0, 2**31),
+        shift_db=st.floats(0.5, 6.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rate_monotone_under_uniform_improvement(self, seed, shift_db):
+        """Raising every subcarrier's SNR can never lower the chosen rate."""
+        rng = np.random.default_rng(seed)
+        sel = EffectiveSnrRateSelector(10e6)
+        snrs = rng.uniform(0.0, 25.0, 48)
+        base = sel.select(snrs).bitrate
+        better = sel.select(snrs + shift_db).bitrate
+        assert better >= base

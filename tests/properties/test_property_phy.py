@@ -1,0 +1,129 @@
+"""Property-based tests of the PHY chain invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.coding import BlockInterleaver, ConvolutionalCode, Puncturer, Scrambler
+from repro.phy.frame import bits_to_bytes, bytes_to_bits
+from repro.phy.modulation import get_modulation
+from repro.phy.ofdm import OfdmDemodulator, OfdmModulator
+
+_code = ConvolutionalCode()
+_mod = OfdmModulator()
+_demod = OfdmDemodulator()
+
+bit_arrays = st.lists(st.integers(0, 1), min_size=1, max_size=256).map(
+    lambda bits: np.array(bits, dtype=np.uint8)
+)
+
+
+class TestCodingProperties:
+    @given(bits=bit_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_conv_roundtrip(self, bits):
+        assert np.array_equal(_code.decode_hard(_code.encode(bits), bits.size), bits)
+
+    @given(bits=bit_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_conv_code_is_linear(self, bits):
+        zero = np.zeros_like(bits)
+        assert np.array_equal(_code.encode(zero), np.zeros(2 * (bits.size + 6), dtype=np.uint8))
+
+    @given(
+        bits=bit_arrays,
+        rate=st.sampled_from([(1, 2), (2, 3), (3, 4)]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_puncture_roundtrip(self, bits, rate):
+        coded = _code.encode(bits)
+        p = Puncturer(rate)
+        tx = p.puncture(coded)
+        assert tx.size == p.punctured_length(coded.size)
+        rx = p.depuncture(1.0 - 2.0 * tx.astype(float), coded.size)
+        assert np.array_equal(_code.decode(rx, bits.size), bits)
+
+    @given(bits=bit_arrays, seed=st.integers(1, 127))
+    @settings(max_examples=30, deadline=None)
+    def test_scrambler_involution(self, bits, seed):
+        s = Scrambler(seed)
+        assert np.array_equal(Scrambler(seed).descramble(s.scramble(bits)), bits)
+
+    @given(
+        n_blocks=st.integers(1, 4),
+        bits_per_sc=st.sampled_from([1, 2, 4, 6]),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_interleaver_bijection(self, n_blocks, bits_per_sc, seed):
+        n_cbps = 48 * bits_per_sc
+        il = BlockInterleaver(n_cbps, bits_per_sc)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, n_cbps * n_blocks).astype(np.uint8)
+        out = il.interleave(data)
+        assert sorted(out.tolist()) == sorted(data.tolist())  # permutation
+        assert np.array_equal(il.deinterleave(out), data)
+
+
+class TestModulationProperties:
+    @given(
+        name=st.sampled_from(["BPSK", "QPSK", "16QAM", "64QAM"]),
+        seed=st.integers(0, 2**31),
+        n=st.integers(1, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, name, seed, n):
+        mod = get_modulation(name)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, n * mod.bits_per_symbol).astype(np.uint8)
+        assert np.array_equal(mod.demodulate_hard(mod.modulate(bits)), bits)
+
+    @given(name=st.sampled_from(["BPSK", "QPSK", "16QAM", "64QAM"]))
+    @settings(max_examples=10, deadline=None)
+    def test_unit_energy(self, name):
+        mod = get_modulation(name)
+        assert np.mean(np.abs(mod.points) ** 2) == pytest.approx(1.0)
+
+
+class TestOfdmProperties:
+    @given(seed=st.integers(0, 2**31), symbol_index=st.integers(0, 126))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_pilot_index(self, seed, symbol_index):
+        rng = np.random.default_rng(seed)
+        qpsk = get_modulation("QPSK")
+        data = qpsk.modulate(rng.integers(0, 2, 96).astype(np.uint8))
+        samples = _mod.modulate_symbol(data, symbol_index)
+        eq = _demod.demodulate_symbol(samples, np.ones(64), symbol_index)
+        assert np.allclose(eq.data, data, atol=1e-9)
+
+    @given(seed=st.integers(0, 2**31), phase=st.floats(-3.0, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_common_phase_invariance(self, seed, phase):
+        """Pilot tracking removes any common rotation exactly."""
+        rng = np.random.default_rng(seed)
+        qpsk = get_modulation("QPSK")
+        data = qpsk.modulate(rng.integers(0, 2, 96).astype(np.uint8))
+        samples = _mod.modulate_symbol(data) * np.exp(1j * phase)
+        eq = _demod.demodulate_symbol(samples, np.ones(64))
+        assert np.allclose(eq.data, data, atol=1e-8)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_parseval_energy(self, seed):
+        """Time-domain energy of the body equals frequency-domain energy."""
+        rng = np.random.default_rng(seed)
+        qpsk = get_modulation("QPSK")
+        data = qpsk.modulate(rng.integers(0, 2, 96).astype(np.uint8))
+        grid = _mod.symbol_grid(data)
+        samples = _mod.modulate_symbol(data)
+        body = samples[16:]
+        assert np.sum(np.abs(body) ** 2) == pytest.approx(
+            np.sum(np.abs(grid) ** 2), rel=1e-9
+        )
+
+
+class TestByteHelpers:
+    @given(data=st.binary(min_size=0, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_bytes_bits_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data

@@ -1,0 +1,98 @@
+"""AGC + ADC quantization model."""
+
+import numpy as np
+import pytest
+
+from repro.radio.adc import AdcConfig, AdcModel, AutomaticGainControl
+
+
+def ofdm_like(rng, n=20_000, power=7.3):
+    return np.sqrt(power / 2) * (rng.normal(size=n) + 1j * rng.normal(size=n))
+
+
+class TestAgc:
+    def test_gain_places_rms_at_backoff(self):
+        rng = np.random.default_rng(0)
+        x = ofdm_like(rng)
+        agc = AutomaticGainControl(AdcConfig(target_backoff_db=12.0))
+        g = agc.gain_for(x)
+        rms = np.sqrt(np.mean(np.abs(g * x) ** 2))
+        assert 20 * np.log10(rms) == pytest.approx(-12.0, abs=0.1)
+
+    def test_silent_input_rejected(self):
+        with pytest.raises(ValueError):
+            AutomaticGainControl().gain_for(np.zeros(10, dtype=complex))
+
+
+class TestAdc:
+    def test_output_scale_preserved(self):
+        rng = np.random.default_rng(1)
+        x = ofdm_like(rng)
+        out = AdcModel(AdcConfig(bits=14)).digitize(x)
+        assert np.mean(np.abs(out) ** 2) == pytest.approx(
+            np.mean(np.abs(x) ** 2), rel=0.01
+        )
+
+    def test_quantization_snr_6db_per_bit(self):
+        rng = np.random.default_rng(2)
+        x = ofdm_like(rng)
+        snr8 = AdcModel(AdcConfig(bits=8)).quantization_snr_db(x)
+        snr12 = AdcModel(AdcConfig(bits=12)).quantization_snr_db(x)
+        assert snr12 - snr8 == pytest.approx(24.0, abs=3.0)
+
+    def test_14_bit_is_transparent(self):
+        """USRP2-class ADCs leave >60 dB of quantization headroom — far
+        below the channel noise in any of our experiments."""
+        rng = np.random.default_rng(3)
+        snr = AdcModel(AdcConfig(bits=14)).quantization_snr_db(ofdm_like(rng))
+        assert snr > 60.0
+
+    def test_default_backoff_rarely_clips(self):
+        rng = np.random.default_rng(4)
+        adc = AdcModel(AdcConfig(bits=10, target_backoff_db=12.0))
+        adc.digitize(ofdm_like(rng))
+        assert adc.last_clip_fraction < 1e-3
+
+    def test_no_backoff_clips_hard(self):
+        rng = np.random.default_rng(5)
+        adc = AdcModel(AdcConfig(bits=10, target_backoff_db=0.0))
+        adc.digitize(ofdm_like(rng))
+        assert adc.last_clip_fraction > 0.05
+
+    def test_empty_capture(self):
+        out = AdcModel().digitize(np.zeros(0, dtype=complex))
+        assert out.size == 0
+
+    def test_bits_validated(self):
+        with pytest.raises(ValueError):
+            AdcConfig(bits=1)
+
+
+class TestEndToEndWithAdc:
+    def test_protocol_survives_10_bit_adc(self):
+        """Digitize everything a client hears through a consumer-grade ADC:
+        the joint transmission still decodes."""
+        from repro import MegaMimoSystem, SystemConfig, get_mcs
+        from repro.channel.models import RicianChannel
+
+        config = SystemConfig(n_aps=2, n_clients=2, seed=4)
+        system = MegaMimoSystem.create(
+            config, client_snr_db=25.0, channel_model=RicianChannel(k_factor=7.0)
+        )
+        system.run_sounding(0.0)
+
+        adc = AdcModel(AdcConfig(bits=10))
+        original_receive = system.medium.receive
+
+        def digitized_receive(node, start, n, **kwargs):
+            rx = original_receive(node, start, n, **kwargs)
+            if node.startswith("client") and np.any(rx):
+                return adc.digitize(rx)
+            return rx
+
+        system.medium.receive = digitized_receive
+        report = system.joint_transmit(
+            [b"A" * 25, b"B" * 25], get_mcs(2), start_time=1e-3
+        )
+        system.medium.receive = original_receive
+        assert all(r.decoded.crc_ok for r in report.receptions)

@@ -1,0 +1,78 @@
+"""Radio front-end."""
+
+import numpy as np
+import pytest
+
+from repro.channel.oscillator import Oscillator, OscillatorConfig
+from repro.radio.frontend import RadioFrontend, apply_sfo
+
+
+def make_frontend(ppm=0.0, max_power=1.0, model_sfo=True):
+    osc = Oscillator(OscillatorConfig(ppm_offset=ppm, phase_noise_rad2_per_s=0.0))
+    return RadioFrontend(node_id="n", oscillator=osc, max_power=max_power, model_sfo=model_sfo)
+
+
+class TestApplySfo:
+    def test_zero_ppm_identity(self):
+        x = np.arange(10, dtype=complex)
+        assert np.allclose(apply_sfo(x, 0.0), x)
+
+    def test_empty_input(self):
+        assert apply_sfo(np.zeros(0, dtype=complex), 5.0).size == 0
+
+    def test_tiny_skew_small_change(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000) + 1j * rng.normal(size=1000)
+        y = apply_sfo(x, 2.0)
+        # 2 ppm over 1000 samples drifts 0.002 samples: nearly identity
+        assert np.max(np.abs(y - x)) < 0.05
+
+    def test_large_skew_shifts_tail(self):
+        n = 100_000
+        x = np.exp(2j * np.pi * 0.01 * np.arange(n))
+        y = apply_sfo(x, 100.0)  # 100 ppm -> ~10 samples drift at the tail
+        # head barely moves, tail is visibly time-shifted
+        assert np.max(np.abs(y[:100] - x[:100])) < 0.1
+        assert np.max(np.abs(y[-5000:-100] - x[-5000:-100])) > 0.5
+
+    def test_preserves_length(self):
+        x = np.ones(500, dtype=complex)
+        assert apply_sfo(x, 20.0).size == 500
+
+
+class TestPowerLimit:
+    def test_overpowered_signal_scaled(self):
+        fe = make_frontend(max_power=1.0, model_sfo=False)
+        x = 10.0 * np.ones(100, dtype=complex)
+        out = fe.prepare_transmit(x)
+        assert np.mean(np.abs(out) ** 2) == pytest.approx(1.0)
+
+    def test_underpowered_signal_untouched(self):
+        fe = make_frontend(max_power=1.0, model_sfo=False)
+        x = 0.1 * np.ones(100, dtype=complex)
+        assert np.allclose(fe.prepare_transmit(x), x)
+
+    def test_enforcement_can_be_disabled(self):
+        fe = make_frontend(max_power=1.0, model_sfo=False)
+        x = 10.0 * np.ones(100, dtype=complex)
+        assert np.allclose(fe.prepare_transmit(x, enforce_power=False), x)
+
+    def test_average_power(self):
+        fe = make_frontend()
+        assert fe.average_power(2.0 * np.ones(10, dtype=complex)) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            fe.average_power(np.zeros(0))
+
+
+class TestSfoIntegration:
+    def test_sfo_applied_from_oscillator_ppm(self):
+        fe = make_frontend(ppm=100.0, model_sfo=True)
+        n = 50_000
+        x = np.exp(2j * np.pi * 0.01 * np.arange(n))
+        out = fe.prepare_transmit(x, enforce_power=False)
+        assert not np.allclose(out[-100:], x[-100:], atol=0.1)
+
+    def test_sfo_disabled(self):
+        fe = make_frontend(ppm=100.0, model_sfo=False)
+        x = np.ones(100, dtype=complex)
+        assert np.allclose(fe.prepare_transmit(x, enforce_power=False), x)

@@ -1,0 +1,36 @@
+"""Trigger-based time synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.constants import TRIGGER_TURNAROUND_S
+from repro.radio.timing import TimingConfig, TriggerTimer
+
+
+class TestTriggerTimer:
+    def test_default_turnaround_matches_paper(self):
+        # §10a: "We select t_delta as 150 us"
+        assert TRIGGER_TURNAROUND_S == pytest.approx(150e-6)
+        timer = TriggerTimer(rng=0)
+        assert timer.joint_start_time(1e-3) == pytest.approx(1e-3 + 150e-6)
+
+    def test_node_start_has_jitter(self):
+        timer = TriggerTimer(TimingConfig(jitter_std_s=5e-9), rng=0)
+        starts = np.array([timer.node_start_time(0.0) for _ in range(2000)])
+        assert np.std(starts) == pytest.approx(5e-9, rel=0.1)
+        assert np.mean(starts) == pytest.approx(150e-6, abs=1e-9)
+
+    def test_jitter_inside_cyclic_prefix(self):
+        """SourceSync residual must sit far inside the 1.6 us CP at 10 MHz
+        (§5.2 footnote 3: delay spread smaller than the CP)."""
+        timer = TriggerTimer(rng=1)
+        cp_duration = 16 / 10e6
+        worst = max(
+            abs(timer.node_start_time(0.0) - timer.joint_start_time(0.0))
+            for _ in range(1000)
+        )
+        assert worst < cp_duration / 10
+
+    def test_custom_config(self):
+        timer = TriggerTimer(TimingConfig(turnaround_s=1e-3, jitter_std_s=0.0), rng=0)
+        assert timer.node_start_time(2e-3) == pytest.approx(3e-3)

@@ -1,0 +1,59 @@
+"""Metrics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import (
+    cdf_points,
+    jain_fairness,
+    median_gain,
+    percentile,
+    summarize_throughput,
+)
+
+
+class TestCdf:
+    def test_sorted_output(self):
+        xs, fs = cdf_points([3.0, 1.0, 2.0])
+        assert xs.tolist() == [1.0, 2.0, 3.0]
+        assert fs.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestGain:
+    def test_median_gain(self):
+        assert median_gain([2.0, 4.0, 9.0], [1.0, 2.0, 3.0]) == 2.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            median_gain([1.0], [0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            median_gain([1.0, 2.0], [1.0])
+
+
+class TestSummary:
+    def test_stats(self):
+        s = summarize_throughput(np.arange(1, 101) * 1e6)
+        assert s.mean_mbps == pytest.approx(50.5)
+        assert s.median_mbps == pytest.approx(50.5)
+        assert s.p10_mbps < s.median_mbps < s.p90_mbps
+
+
+class TestFairness:
+    def test_equal_allocation_is_one(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_zero_total(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+def test_percentile():
+    assert percentile(np.arange(101), 95) == pytest.approx(95.0)

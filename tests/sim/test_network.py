@@ -1,0 +1,50 @@
+"""Scenario builder."""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import NetworkScenario, ScenarioConfig
+
+
+@pytest.fixture
+def scenario():
+    return NetworkScenario(ScenarioConfig(n_aps=4, n_clients=6, seed=3))
+
+
+class TestScenario:
+    def test_snr_map_shape(self, scenario):
+        assert scenario.client_ap_snr_db.shape == (6, 4)
+
+    def test_snrs_reasonable_for_room(self, scenario):
+        """AP powers and room scale should land links in the operational
+        802.11 range, not -40 or +90 dB."""
+        snrs = scenario.client_ap_snr_db
+        assert np.median(snrs) > 5.0
+        assert np.max(snrs) < 80.0
+
+    def test_best_ap(self, scenario):
+        best = scenario.best_ap_snr_db()
+        assert best.shape == (6,)
+        assert np.all(best == scenario.client_ap_snr_db.max(axis=1))
+
+    def test_channel_tensor(self, scenario):
+        t = scenario.channel_tensor(n_bins=52)
+        assert t.shape == (52, 6, 4)
+
+    def test_seed_reproducible(self):
+        a = NetworkScenario(ScenarioConfig(n_aps=3, n_clients=3, seed=9))
+        b = NetworkScenario(ScenarioConfig(n_aps=3, n_clients=3, seed=9))
+        assert np.allclose(a.client_ap_snr_db, b.client_ap_snr_db)
+
+    def test_clip_to_band(self, scenario):
+        scenario.clip_snrs_to_band((12.0, 18.0))
+        best = scenario.best_ap_snr_db()
+        assert np.all(best >= 12.0 - 1e-9) and np.all(best <= 18.0 + 1e-9)
+
+    def test_sample_level_system_construction(self):
+        scenario = NetworkScenario(ScenarioConfig(n_aps=2, n_clients=2, seed=5))
+        scenario.clip_snrs_to_band((20.0, 25.0))
+        system = scenario.sample_level_system()
+        assert system.config.n_aps == 2
+        system.run_sounding(0.0)
+        assert system._channel_tensor is not None

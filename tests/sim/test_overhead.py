@@ -1,0 +1,95 @@
+"""Sounding overhead and CSI staleness."""
+
+import numpy as np
+import pytest
+
+from repro.sim.fastsim import build_channel_tensor, joint_zf_sinr_db
+from repro.sim.overhead import (
+    packet_airtime_s,
+    run_overhead_experiment,
+    sounding_airtime_s,
+    stale_channels,
+)
+
+
+class TestStaleChannels:
+    def test_zero_elapsed_identity(self):
+        rng = np.random.default_rng(0)
+        h = build_channel_tensor(np.full((2, 2), 20.0), rng)
+        assert np.allclose(stale_channels(h, 0.0, 0.25, rng), h)
+
+    def test_power_preserved(self):
+        rng = np.random.default_rng(1)
+        h = build_channel_tensor(np.full((3, 3), 20.0), rng)
+        stale = stale_channels(h, 0.1, 0.25, rng)
+        assert np.mean(np.abs(stale) ** 2) == pytest.approx(
+            np.mean(np.abs(h) ** 2), rel=0.2
+        )
+
+    def test_staleness_lowers_zf_sinr(self):
+        rng = np.random.default_rng(2)
+        drops = []
+        for _ in range(5):
+            h0 = build_channel_tensor(np.full((3, 3), 20.0), rng)
+            fresh = np.mean(joint_zf_sinr_db(h0, est_channels=h0))
+            stale = np.mean(
+                joint_zf_sinr_db(
+                    stale_channels(h0, 0.15, 0.25, rng), est_channels=h0
+                )
+            )
+            drops.append(fresh - stale)
+        assert np.mean(drops) > 4.0
+
+    def test_short_lags_benign(self):
+        """Clarke correlation is flat near zero: a packet-scale lag (1 ms)
+        costs almost nothing even at a 50 ms coherence time."""
+        rng = np.random.default_rng(3)
+        h0 = build_channel_tensor(np.full((3, 3), 22.0), rng)
+        fresh = np.mean(joint_zf_sinr_db(h0, est_channels=h0))
+        barely = np.mean(
+            joint_zf_sinr_db(
+                stale_channels(h0, 1e-3, 0.05, rng), est_channels=h0
+            )
+        )
+        assert barely > fresh - 3.0
+
+
+class TestAirtime:
+    def test_sounding_scales_with_aps(self):
+        assert sounding_airtime_s(10, 10) > sounding_airtime_s(2, 2)
+
+    def test_packet_airtime_components(self):
+        t = packet_airtime_s(bitrate_bps=12e6, packet_bytes=1500)
+        # payload alone is 1 ms at 12 Mbps; header+turnaround adds ~0.2 ms
+        assert 1.0e-3 < t < 1.5e-3
+
+    def test_zero_bitrate_rejected(self):
+        with pytest.raises(ValueError):
+            packet_airtime_s(0.0)
+
+
+class TestOverheadExperiment:
+    def test_optimum_scales_with_coherence(self):
+        r = run_overhead_experiment(
+            n_topologies=3,
+            intervals_s=(2e-3, 10e-3, 25e-3, 50e-3, 100e-3),
+            coherence_times_s=(50e-3, 1.0),
+        )
+        best = r.best_interval_s
+        assert best[1.0] >= best[50e-3]
+
+    def test_very_long_intervals_collapse(self):
+        r = run_overhead_experiment(
+            n_topologies=3,
+            intervals_s=(10e-3, 500e-3),
+            coherence_times_s=(50e-3,),
+        )
+        curve = r.net_throughput_bps[50e-3]
+        assert curve[-1] < curve[0] / 5
+
+    def test_table_renders(self):
+        r = run_overhead_experiment(
+            n_topologies=2, intervals_s=(10e-3, 50e-3), coherence_times_s=(0.25,)
+        )
+        assert "interval(ms)" in r.format_table()
+        assert "optimal" in r.format_table()

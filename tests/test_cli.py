@@ -1,0 +1,71 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "5"])
+        args = build_parser().parse_args(["figure", "6"])
+        assert args.number == 6
+
+    def test_ablation_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "nonsense"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.n_aps == 4 and args.arrival_rate is None
+
+
+class TestCommands:
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "client0: ok" in out
+
+    def test_figure6(self, capsys):
+        assert main(["figure", "6", "--scale", "0.2"]) == 0
+        assert "misalignment" in capsys.readouterr().out
+
+    def test_figure7_small(self, capsys):
+        assert main(["figure", "7", "--scale", "0.2"]) == 0
+        assert "median" in capsys.readouterr().out
+
+    def test_figure11_small(self, capsys):
+        assert main(["figure", "11", "--scale", "0.2"]) == 0
+        assert "AP(Mbps)" in capsys.readouterr().out
+
+    def test_figure12_small(self, capsys):
+        assert main(["figure", "12", "--scale", "0.2"]) == 0
+        assert "gain" in capsys.readouterr().out
+
+    def test_ablation_cfo(self, capsys):
+        assert main(["ablation", "cfo"]) == 0
+        assert "alpha" in capsys.readouterr().out
+
+    def test_ablation_sounding(self, capsys):
+        assert main(["ablation", "sounding"]) == 0
+        assert "interleaved" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--n-aps", "2",
+                    "--n-clients", "2",
+                    "--duration", "0.05",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        assert "goodput" in capsys.readouterr().out

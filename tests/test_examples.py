@@ -1,0 +1,63 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Keeps the documentation honest — an API change that breaks an example
+breaks the build, not a future reader's first experience.
+(The slower sweep examples are exercised at reduced scale.)
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "delivered concurrently" in out
+
+    def test_compat_80211n(self, capsys):
+        run_example("compat_80211n.py")
+        out = capsys.readouterr().out
+        assert "stitching phase error" in out
+        assert "signal-to-leakage" in out
+
+    def test_phase_sync_deep_dive(self, capsys):
+        run_example("phase_sync_deep_dive.py")
+        out = capsys.readouterr().out
+        assert "re-measuring beats predicting" in out
+        assert "shared clock reference" in out
+
+    def test_monitor_mode(self, capsys):
+        run_example("monitor_mode.py")
+        out = capsys.readouterr().out
+        assert "The spy detected" in out
+
+    def test_conference_room_small(self, capsys):
+        run_example("conference_room.py", argv=["3"])  # 2..3 APs only
+        out = capsys.readouterr().out
+        assert "MegaMIMO(Mbps)" in out
+
+    def test_dead_spot_diversity(self, capsys):
+        run_example("dead_spot_diversity.py")
+        out = capsys.readouterr().out
+        assert "rescued from the dead spot" in out
+
+    def test_link_layer_sim(self, capsys):
+        run_example("link_layer_sim.py")
+        out = capsys.readouterr().out
+        assert "Goodput vs. offered load" in out
+        assert "adaptive" in out

@@ -1,0 +1,48 @@
+"""RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import complex_normal, ensure_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestComplexNormal:
+    def test_unit_power(self):
+        rng = np.random.default_rng(7)
+        x = complex_normal(rng, 100_000, scale=1.0)
+        assert np.mean(np.abs(x) ** 2) == pytest.approx(1.0, rel=0.02)
+
+    def test_scale_squares_power(self):
+        rng = np.random.default_rng(7)
+        x = complex_normal(rng, 100_000, scale=3.0)
+        assert np.mean(np.abs(x) ** 2) == pytest.approx(9.0, rel=0.02)
+
+    def test_circular_symmetry(self):
+        rng = np.random.default_rng(7)
+        x = complex_normal(rng, 100_000)
+        # real and imaginary parts carry equal power, zero correlation
+        assert np.var(x.real) == pytest.approx(np.var(x.imag), rel=0.05)
+        assert abs(np.mean(x.real * x.imag)) < 0.01
+
+    def test_scalar_shape(self):
+        rng = np.random.default_rng(7)
+        x = complex_normal(rng, ())
+        assert np.ndim(x) == 0

@@ -1,0 +1,20 @@
+"""Argument validation helper."""
+
+import pytest
+
+from repro.utils.validation import require
+
+
+def test_passes_on_true():
+    require(True, "never raised")
+
+
+def test_raises_on_false():
+    with pytest.raises(ValueError, match="must be positive"):
+        require(False, "value must be positive")
+
+
+def test_message_is_preserved():
+    with pytest.raises(ValueError) as excinfo:
+        require(1 > 2, "one is not greater than two")
+    assert "one is not greater than two" in str(excinfo.value)
