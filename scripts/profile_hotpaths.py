@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Profile the stack's hot stages through the repro.obs tracer.
+
+Runs representative workloads with tracing enabled into a scratch JSONL
+file, then ranks span names by self time — the quickest way to see where a
+joint transmission or a link-layer simulation actually spends its wall
+clock (OFDM mod/demod, precoding, channel apply, Viterbi decode, ...).
+
+    python scripts/profile_hotpaths.py                  # all workloads
+    python scripts/profile_hotpaths.py joint --repeat 5
+    python scripts/profile_hotpaths.py --trace prof.jsonl --top 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+from repro.obs import setup_logging, trace
+from repro.obs.summary import format_table, summarize
+
+
+def run_joint(repeat: int) -> None:
+    """Sample-level sounding + joint transmissions (the PHY hot path)."""
+    from repro import MegaMimoSystem, SystemConfig, get_mcs
+    from repro.channel.models import RicianChannel
+
+    system = MegaMimoSystem.create(
+        SystemConfig(n_aps=2, n_clients=2, seed=7),
+        client_snr_db=25.0,
+        channel_model=RicianChannel(k_factor=8.0),
+    )
+    system.run_sounding(0.0)
+    payload = bytes(range(256))
+    for k in range(repeat):
+        system.joint_transmit(
+            [payload, payload], get_mcs(2), start_time=1e-3 + k * 2e-3
+        )
+
+
+def run_simulate(repeat: int) -> None:
+    """Event-driven link-layer simulation (the MAC/fastsim hot path)."""
+    from repro.mac.simulator import DownlinkSimulator, LinkLayerConfig
+
+    for k in range(repeat):
+        DownlinkSimulator(
+            LinkLayerConfig(n_aps=4, n_clients=4, duration_s=0.1, seed=1 + k)
+        ).run()
+
+
+def run_sweep(repeat: int) -> None:
+    """A small frequency-domain figure sweep (experiment.cell spans)."""
+    from repro.sim.experiments import run_fig9
+
+    for k in range(repeat):
+        run_fig9(seed=4 + k, n_aps=(2, 4), n_topologies=3)
+
+
+WORKLOADS = {"joint": run_joint, "simulate": run_simulate, "sweep": run_sweep}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Rank the stack's hottest traced stages by self time."
+    )
+    parser.add_argument("workload", nargs="?",
+                        choices=sorted(WORKLOADS) + ["all"], default="all")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per workload (default 3)")
+    parser.add_argument("--top", type=int, default=12, metavar="K",
+                        help="rows to show (default 12)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="keep the JSONL trace at FILE (default: scratch)")
+    args = parser.parse_args(argv)
+    setup_logging(verbosity=1)
+
+    if args.trace is None:
+        fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro-prof-")
+        os.close(fd)
+        cleanup = True
+    else:
+        path, cleanup = args.trace, False
+
+    names = sorted(WORKLOADS) if args.workload == "all" else [args.workload]
+    trace.configure(path, tool="profile_hotpaths", workloads=names)
+    try:
+        for name in names:
+            print(f"running workload {name!r} x{args.repeat} ...", file=sys.stderr)
+            with trace.span(f"workload.{name}", repeat=args.repeat):
+                WORKLOADS[name](args.repeat)
+    finally:
+        trace.close()
+
+    summary = summarize(path)
+    print(format_table(summary, top_k=args.top, sort="self"))
+    if cleanup:
+        os.unlink(path)
+    else:
+        print(f"\ntrace kept at {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,9 +5,16 @@
     python -m repro simulate --n-aps 4 --duration 0.5
     python -m repro quickstart
     python -m repro report
+    python -m repro obs summarize out.jsonl
 
 Every command prints the same tables the benchmark suite reports, so the
 CLI is the quickest way to poke at one experiment with custom parameters.
+
+Output policy: result tables go to **stdout**; diagnostics go to **stderr**
+through :mod:`repro.obs.logging` (``-v`` for progress, ``-vv`` for debug,
+``-q`` for errors only).  Every run command also accepts ``--trace
+out.jsonl`` (span/event telemetry, see ``docs/observability.md``) and
+``--metrics out.json`` (the metrics-registry snapshot).
 """
 
 from __future__ import annotations
@@ -16,9 +23,38 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.obs import get_logger, metrics, setup_logging, trace
 
-def _add_figure_parser(subparsers) -> None:
-    p = subparsers.add_parser("figure", help="reproduce one evaluation figure (6-13)")
+logger = get_logger(__name__)
+
+
+def _common_options() -> argparse.ArgumentParser:
+    """Observability flags shared by every subcommand."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSONL span/event trace of the run to FILE",
+    )
+    group.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write the metrics-registry snapshot (JSON) to FILE",
+    )
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-vv for debug)",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="only log errors to stderr",
+    )
+    return common
+
+
+def _add_figure_parser(subparsers, common) -> None:
+    p = subparsers.add_parser(
+        "figure", parents=[common], help="reproduce one evaluation figure (6-13)"
+    )
     p.add_argument("number", type=int, choices=range(6, 14), metavar="6-13")
     p.add_argument("--seed", type=int, default=None, help="override the RNG seed")
     p.add_argument(
@@ -29,8 +65,10 @@ def _add_figure_parser(subparsers) -> None:
     )
 
 
-def _add_ablation_parser(subparsers) -> None:
-    p = subparsers.add_parser("ablation", help="run one design-choice ablation")
+def _add_ablation_parser(subparsers, common) -> None:
+    p = subparsers.add_parser(
+        "ablation", parents=[common], help="run one design-choice ablation"
+    )
     p.add_argument(
         "name",
         choices=["sync", "tracking", "sounding", "cfo", "overhead", "screening"],
@@ -38,9 +76,10 @@ def _add_ablation_parser(subparsers) -> None:
     p.add_argument("--seed", type=int, default=None)
 
 
-def _add_simulate_parser(subparsers) -> None:
+def _add_simulate_parser(subparsers, common) -> None:
     p = subparsers.add_parser(
-        "simulate", help="event-driven link-layer simulation over fading channels"
+        "simulate", parents=[common],
+        help="event-driven link-layer simulation over fading channels",
     )
     p.add_argument("--n-aps", type=int, default=4)
     p.add_argument("--n-clients", type=int, default=4)
@@ -54,17 +93,39 @@ def _add_simulate_parser(subparsers) -> None:
     p.add_argument("--seed", type=int, default=1)
 
 
+def _add_obs_parser(subparsers, common) -> None:
+    p = subparsers.add_parser(
+        "obs", parents=[common], help="inspect observability outputs"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    s = obs_sub.add_parser(
+        "summarize", parents=[common],
+        help="aggregate a JSONL trace into a hot-span table",
+    )
+    s.add_argument("trace_file", help="path to a --trace JSONL output")
+    s.add_argument("--top", type=int, default=None, metavar="K",
+                   help="show only the K hottest spans")
+    s.add_argument("--sort", choices=("self", "total", "mean", "count"),
+                   default="self", help="ranking key (default: self time)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="MegaMIMO / JMB (SIGCOMM 2012) reproduction toolkit",
     )
+    common = _common_options()
     subparsers = parser.add_subparsers(dest="command", required=True)
-    _add_figure_parser(subparsers)
-    _add_ablation_parser(subparsers)
-    _add_simulate_parser(subparsers)
-    subparsers.add_parser("quickstart", help="2 APs jointly serve 2 clients")
-    subparsers.add_parser("report", help="regenerate all EXPERIMENTS.md tables")
+    _add_figure_parser(subparsers, common)
+    _add_ablation_parser(subparsers, common)
+    _add_simulate_parser(subparsers, common)
+    subparsers.add_parser(
+        "quickstart", parents=[common], help="2 APs jointly serve 2 clients"
+    )
+    subparsers.add_parser(
+        "report", parents=[common], help="regenerate all EXPERIMENTS.md tables"
+    )
+    _add_obs_parser(subparsers, common)
     return parser
 
 
@@ -74,6 +135,7 @@ def _run_figure(args) -> int:
     scale = max(args.scale, 0.1)
     n = args.number
     seed = args.seed
+    logger.info("running figure %d at scale %.2f", n, scale)
 
     def kw(default_seed, **extra):
         out = dict(extra)
@@ -109,6 +171,7 @@ def _run_ablation(args) -> int:
     from repro.sim.overhead import run_overhead_experiment
 
     seed = args.seed
+    logger.info("running ablation %r", args.name)
     runners = {
         "sync": lambda: A.run_sync_strategy_ablation(
             seed=seed if seed is not None else 7
@@ -147,8 +210,12 @@ def _run_simulate(args) -> int:
         coherence_time_s=args.coherence_time,
         seed=args.seed,
     )
-    trace = DownlinkSimulator(config).run()
-    print(trace.format_summary())
+    logger.info(
+        "simulating %d APs x %d clients for %.0f ms",
+        config.n_aps, config.n_clients, config.duration_s * 1e3,
+    )
+    sim_trace = DownlinkSimulator(config).run()
+    print(sim_trace.format_summary())
     return 0
 
 
@@ -156,6 +223,7 @@ def _run_quickstart() -> int:
     from repro import MegaMimoSystem, SystemConfig, get_mcs
     from repro.channel.models import RicianChannel
 
+    logger.info("quickstart: 2 APs jointly serving 2 clients")
     system = MegaMimoSystem.create(
         SystemConfig(n_aps=2, n_clients=2, seed=7),
         client_snr_db=25.0,
@@ -174,20 +242,28 @@ def _run_quickstart() -> int:
 
 
 def _run_report() -> int:
-    import runpy
-    from pathlib import Path
+    from repro.sim.report import generate_report
 
-    script = Path(__file__).resolve().parents[2] / "scripts" / "generate_experiments_report.py"
-    if script.exists():
-        runpy.run_path(str(script), run_name="__main__")
-        return 0
-    print("report script not found; run scripts/generate_experiments_report.py", file=sys.stderr)
-    return 1
+    generate_report()
+    return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _run_obs(args) -> int:
+    from repro.obs.summary import format_table, summarize
+
+    try:
+        summary = summarize(args.trace_file)
+    except OSError as exc:
+        logger.error("cannot read trace: %s", exc)
+        return 1
+    except ValueError as exc:
+        logger.error("malformed trace %s: %s", args.trace_file, exc)
+        return 1
+    print(format_table(summary, top_k=args.top, sort=args.sort))
+    return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "figure":
         return _run_figure(args)
     if args.command == "ablation":
@@ -198,7 +274,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_quickstart()
     if args.command == "report":
         return _run_report()
+    if args.command == "obs":
+        return _run_obs(args)
     return 2  # unreachable: argparse enforces the choices
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    setup_logging(verbosity=args.verbose - args.quiet)
+    if args.trace:
+        try:
+            trace.configure(args.trace, command=args.command, argv=argv or sys.argv[1:])
+        except OSError as exc:
+            logger.error("cannot open trace file: %s", exc)
+            return 1
+        logger.info("tracing to %s", args.trace)
+    try:
+        return _dispatch(args)
+    finally:
+        if args.trace:
+            trace.close()
+            logger.info("trace written to %s", args.trace)
+        if args.metrics:
+            metrics.write_json(args.metrics)
+            logger.info("metrics written to %s", args.metrics)
 
 
 if __name__ == "__main__":

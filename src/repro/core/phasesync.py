@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.constants import FFT_SIZE
+from repro.obs import metrics, trace
 from repro.phy.cfo import CfoTracker, estimate_cfo_fine
 from repro.phy.channel_est import (
     average_channel_estimates,
@@ -122,6 +123,11 @@ class PhaseSynchronizer:
         self.cfo_tracker = CfoTracker(alpha=cfo_alpha)
         self._last_rotation_phase: Optional[float] = None
         self._last_rotation_time: Optional[float] = None
+        # telemetry handles (cached once; updates are attribute arithmetic)
+        self._obs_headers = metrics.counter("phasesync.headers")
+        self._obs_phase = metrics.histogram("phasesync.phase_offset_rad")
+        self._obs_cfo = metrics.histogram("phasesync.cfo_estimate_hz")
+        self._obs_cfo_residual = metrics.histogram("phasesync.cfo_residual_hz")
 
     # -- sounding phase -----------------------------------------------------
 
@@ -132,6 +138,12 @@ class PhaseSynchronizer:
         self.cfo_tracker.update(estimate_header_cfo(header_samples, self.sample_rate))
         self._last_rotation_phase = None
         self._last_rotation_time = None
+        metrics.counter("phasesync.references").inc()
+        trace.event(
+            "phase_sync.set_reference",
+            t=float(header_time),
+            cfo_estimate_hz=float(self.cfo_tracker.estimate_hz),
+        )
         return self.reference
 
     # -- data transmission phase ---------------------------------------------
@@ -143,7 +155,18 @@ class PhaseSynchronizer:
         long-term CFO average from the header's LTS pair, plus — when a
         previous header is recent enough to be phase-unambiguous — from the
         rotation drift between headers.
+
+        Each observation lands in the telemetry layer: a
+        ``phase_sync.observe_header`` span with the measured phase offset
+        and CFO residual, and the ``phasesync.*`` histograms.
         """
+        with trace.span("phase_sync.observe_header", t=header_time) as span:
+            observation = self._observe_header(header_samples, header_time, span)
+        return observation
+
+    def _observe_header(
+        self, header_samples: np.ndarray, header_time: float, span
+    ) -> SyncObservation:
         require(self.reference is not None, "no reference channel; run sounding first")
         channel = estimate_header_channel(header_samples)
         rotation = channel_rotation(self.reference.estimate, channel)
@@ -172,6 +195,16 @@ class PhaseSynchronizer:
 
         self._last_rotation_phase = phase
         self._last_rotation_time = float(header_time)
+        cfo_residual = header_cfo - float(self.cfo_tracker.estimate_hz)
+        self._obs_headers.inc()
+        self._obs_phase.observe(phase)
+        self._obs_cfo.observe(float(self.cfo_tracker.estimate_hz))
+        self._obs_cfo_residual.observe(cfo_residual)
+        span.record(
+            phase_offset_rad=phase,
+            cfo_estimate_hz=float(self.cfo_tracker.estimate_hz),
+            cfo_residual_hz=cfo_residual,
+        )
         return SyncObservation(
             rotation=rotation,
             cfo_hz=float(self.cfo_tracker.estimate_hz),

@@ -39,6 +39,7 @@ from repro.constants import (
     SYMBOL_LENGTH,
 )
 from repro.core.beamforming import zero_forcing_precoder, diversity_precoder
+from repro.obs import metrics, trace
 from repro.core.phasesync import PhaseSynchronizer, SyncObservation
 from repro.core.sounding import (
     REFERENCE_OFFSET,
@@ -239,6 +240,12 @@ class MegaMimoSystem:
         self.detection_failures = 0
         #: ideal-fallback count when an in-band CSI report fails its CRC
         self.feedback_failures = 0
+        # telemetry handles (cached once per system)
+        self._obs_snr = metrics.histogram("system.effective_snr_db")
+        self._obs_evm = metrics.histogram("system.evm_db")
+        self._obs_misalign = metrics.histogram("system.misalignment_rad")
+        self._obs_decode_ok = metrics.counter("system.decode_ok")
+        self._obs_decode_fail = metrics.counter("system.decode_fail")
 
     # ------------------------------------------------------------------
     # construction
@@ -359,6 +366,12 @@ class MegaMimoSystem:
 
     def run_sounding(self, start_time: float = 0.0) -> SoundingResult:
         """Run the channel-measurement phase; stores the channel snapshot."""
+        with trace.span("sounding", t=start_time):
+            result = self._run_sounding(start_time)
+        metrics.counter("system.soundings").inc()
+        return result
+
+    def _run_sounding(self, start_time: float) -> SoundingResult:
         cfg = self.config
         plan = SoundingPlan(
             n_aps=len(self.antenna_ids),
@@ -603,6 +616,21 @@ class MegaMimoSystem:
         Returns:
             A :class:`JointTransmissionReport`.
         """
+        with trace.span(
+            "joint_tx", n_streams=len(payloads), mcs=mcs.name, t=start_time
+        ) as span:
+            report = self._joint_transmit(payloads, mcs, start_time, streams, antennas)
+            self._record_joint_report(report, span)
+        return report
+
+    def _joint_transmit(
+        self,
+        payloads: Sequence[bytes],
+        mcs: Mcs,
+        start_time: float,
+        streams: Sequence[int] = None,
+        antennas: Sequence[int] = None,
+    ) -> JointTransmissionReport:
         cfg = self.config
         if streams is None:
             streams = list(range(len(payloads)))
@@ -629,9 +657,11 @@ class MegaMimoSystem:
                 observations[ap] = self.synchronizers[ap].observe_header(rx, header_time)
 
         # 3. precode
-        bins, precoders, gains = self._precoders_per_bin(streams, antennas)
-        stream_grids = self._stream_grids(payloads, mcs)
-        ap_samples = self._build_joint_samples(stream_grids, bins, precoders)
+        with trace.span("precoding"):
+            bins, precoders, gains = self._precoders_per_bin(streams, antennas)
+        with trace.span("ofdm_mod"):
+            stream_grids = self._stream_grids(payloads, mcs)
+            ap_samples = self._build_joint_samples(stream_grids, bins, precoders)
         active = (
             set(range(len(self.antenna_ids))) if antennas is None else set(antennas)
         )
@@ -652,23 +682,24 @@ class MegaMimoSystem:
             joint_start + float(self._rng.normal(0.0, self.timer.config.jitter_std_s))
             for _ in self.ap_ids[1:]
         ]
-        for i, antenna in enumerate(self.antenna_ids):
-            if i not in active:
-                continue
-            device = self.antenna_device[i]
-            ap = self.ap_ids[device]
-            tx = ap_samples[i]
-            node_start = device_starts[device]
-            if device != 0:
-                times = node_start + np.arange(tx.size) / fs
-                correction = self._slave_correction(ap, times, observations.get(ap))
-                tx = tx * correction
-                if ap not in misalignment:
-                    misalignment[ap] = self._genie_misalignment(
-                        ap, correction[0], node_start
-                    )
-            tx = self.frontends[antenna].prepare_transmit(tx, enforce_power=False)
-            self.medium.transmit(antenna, tx, node_start)
+        with trace.span("tx_frontend"):
+            for i, antenna in enumerate(self.antenna_ids):
+                if i not in active:
+                    continue
+                device = self.antenna_device[i]
+                ap = self.ap_ids[device]
+                tx = ap_samples[i]
+                node_start = device_starts[device]
+                if device != 0:
+                    times = node_start + np.arange(tx.size) / fs
+                    correction = self._slave_correction(ap, times, observations.get(ap))
+                    tx = tx * correction
+                    if ap not in misalignment:
+                        misalignment[ap] = self._genie_misalignment(
+                            ap, correction[0], node_start
+                        )
+                tx = self.frontends[antenna].prepare_transmit(tx, enforce_power=False)
+                self.medium.transmit(antenna, tx, node_start)
 
         # 5. client antennas receive and decode their streams
         n_symbols = stream_grids.shape[1]
@@ -686,6 +717,33 @@ class MegaMimoSystem:
             misalignment_rad=misalignment,
             joint_start_time=joint_start,
             precoder_gain=float(np.mean(gains)),
+        )
+
+    def _record_joint_report(self, report: JointTransmissionReport, span) -> None:
+        """Fold one joint transmission's outcome into metrics and the trace."""
+        n_ok = 0
+        for i, r in enumerate(report.receptions):
+            ok = bool(r.decoded is not None and r.decoded.crc_ok)
+            n_ok += ok
+            (self._obs_decode_ok if ok else self._obs_decode_fail).inc()
+            if np.isfinite(r.effective_snr_db):
+                self._obs_snr.observe(r.effective_snr_db)
+            if np.isfinite(r.evm_db):
+                self._obs_evm.observe(r.evm_db)
+            trace.event(
+                "joint_tx.client",
+                client=i,
+                crc_ok=ok,
+                effective_snr_db=r.effective_snr_db,
+                evm_db=r.evm_db,
+            )
+        for value in report.misalignment_rad.values():
+            self._obs_misalign.observe(value)
+        span.record(
+            decode_ok=n_ok,
+            decode_fail=len(report.receptions) - n_ok,
+            precoder_gain=report.precoder_gain,
+            misalignment_rad=report.misalignment_rad,
         )
 
     #: noise-only samples captured before the expected packet when packet
@@ -743,9 +801,10 @@ class MegaMimoSystem:
         if cfg.use_detection:
             # capture with a noise pre-roll and locate the header by its STS
             preroll = self.DETECTION_PREROLL
-            capture = self.medium.receive(
-                client, header_start - preroll / fs, total + 2 * preroll
-            )
+            with trace.span("channel_apply", node=client):
+                capture = self.medium.receive(
+                    client, header_start - preroll / fs, total + 2 * preroll
+                )
             rx = self._detect_and_align(capture)
             if rx is None or rx.size < total:
                 return ClientReception(
@@ -755,37 +814,40 @@ class MegaMimoSystem:
                 )
             rx = rx[:total]
         else:
-            rx = self.medium.receive(client, header_start, total)
+            with trace.span("channel_apply", node=client):
+                rx = self.medium.receive(client, header_start, total)
 
-        # CFO lock to the lead from its sync header
-        coarse = estimate_cfo_coarse(rx[:160], fs)
-        lts_off = lts_symbol_offsets()[0]
-        fine = estimate_cfo_fine(rx[lts_off : lts_off + 2 * FFT_SIZE], fs)
-        cfo = combine_cfo(coarse, fine, fs)
-        rx = apply_cfo(rx, -cfo, fs)
+        with trace.span("ofdm_demod", node=client):
+            # CFO lock to the lead from its sync header
+            coarse = estimate_cfo_coarse(rx[:160], fs)
+            lts_off = lts_symbol_offsets()[0]
+            fine = estimate_cfo_fine(rx[lts_off : lts_off + 2 * FFT_SIZE], fs)
+            cfo = combine_cfo(coarse, fine, fs)
+            rx = apply_cfo(rx, -cfo, fs)
 
-        joint_off = int(round((joint_start - header_start) * fs))
-        # effective channel from the two beamformed LTS symbols
-        est = []
-        for rep in range(2):
-            s = joint_off + rep * SYMBOL_LENGTH + CP_LENGTH
-            est.append(estimate_channel_lts(rx[s : s + FFT_SIZE]))
-        effective = average_channel_estimates(est)
+            joint_off = int(round((joint_start - header_start) * fs))
+            # effective channel from the two beamformed LTS symbols
+            est = []
+            for rep in range(2):
+                s = joint_off + rep * SYMBOL_LENGTH + CP_LENGTH
+                est.append(estimate_channel_lts(rx[s : s + FFT_SIZE]))
+            effective = average_channel_estimates(est)
 
-        # demodulate SIGNAL + data with pilot phase tracking
-        data_start = joint_off + 2 * SYMBOL_LENGTH
-        symbols = []
-        pilot_snrs = []
-        for m in range(n_symbols - 2):
-            s = data_start + m * SYMBOL_LENGTH
-            eq = self._demodulator.demodulate_symbol(
-                rx[s : s + SYMBOL_LENGTH], effective, symbol_index=m
-            )
-            symbols.append(eq.data)
-            pilot_snrs.append(eq.pilot_snr)
-        symbols = np.stack(symbols)
-        noise_var = float(np.mean(1.0 / np.maximum(pilot_snrs, 1e-6)))
-        decoded = self._decoder.decode(symbols, noise_var=noise_var)
+            # demodulate SIGNAL + data with pilot phase tracking
+            data_start = joint_off + 2 * SYMBOL_LENGTH
+            symbols = []
+            pilot_snrs = []
+            for m in range(n_symbols - 2):
+                s = data_start + m * SYMBOL_LENGTH
+                eq = self._demodulator.demodulate_symbol(
+                    rx[s : s + SYMBOL_LENGTH], effective, symbol_index=m
+                )
+                symbols.append(eq.data)
+                pilot_snrs.append(eq.pilot_snr)
+            symbols = np.stack(symbols)
+            noise_var = float(np.mean(1.0 / np.maximum(pilot_snrs, 1e-6)))
+        with trace.span("decode", node=client):
+            decoded = self._decoder.decode(symbols, noise_var=noise_var)
         snr_db = float(linear_to_db(np.mean(pilot_snrs)))
         return ClientReception(
             decoded=decoded, effective_snr_db=snr_db, evm_db=decoded.evm_db
@@ -799,6 +861,16 @@ class MegaMimoSystem:
         self, payload: bytes, mcs: Mcs, client_index: int, start_time: float
     ) -> JointTransmissionReport:
         """All APs beamform a single stream coherently to one client."""
+        with trace.span(
+            "diversity_tx", client=client_index, mcs=mcs.name, t=start_time
+        ) as span:
+            report = self._diversity_transmit(payload, mcs, client_index, start_time)
+            self._record_joint_report(report, span)
+        return report
+
+    def _diversity_transmit(
+        self, payload: bytes, mcs: Mcs, client_index: int, start_time: float
+    ) -> JointTransmissionReport:
         cfg = self.config
         require(self._channel_tensor is not None, "run_sounding first")
         self.medium.clear()

@@ -34,6 +34,7 @@ from repro.constants import (
 from repro.core.beamforming import zero_forcing_precoder_wideband
 from repro.mac.queue import DownlinkQueue, Packet
 from repro.mac.rate import EffectiveSnrRateSelector
+from repro.obs import metrics, trace
 from repro.mac.scheduler import JointScheduler
 from repro.phy.mcs import ALL_MCS, Mcs
 from repro.sim.fastsim import SyncErrorModel
@@ -221,6 +222,23 @@ class DownlinkSimulator:
         self._effective_snr_db: float = -np.inf
         self._extra_backoff_db: float = 0.0
         self._streak: int = 0  # >0 success streak, <0 failure streak
+        # telemetry handles (cached once per simulator)
+        self._m_queue_depth = metrics.histogram("mac.queue_depth")
+        self._m_retries = metrics.counter("mac.arq.retries")
+        self._m_deliveries = metrics.counter("mac.deliveries")
+        self._m_failures = metrics.counter("mac.stream_failures")
+        self._m_soundings = metrics.counter("mac.soundings")
+        self._m_sinr = metrics.histogram("mac.effective_sinr_db")
+        self._m_phase_err = metrics.histogram("mac.phase_error_rad")
+        self._m_airtime = {
+            kind: metrics.counter(f"mac.airtime.{kind}_s")
+            for kind in ("data", "sounding", "contention", "idle")
+        }
+        # per-AP airtime share: every AP radiates in a joint burst and in
+        # every sounding round, so each gets the full slot attributed
+        self._m_ap_airtime = [
+            metrics.counter(f"mac.airtime.ap{i}_s") for i in range(config.n_aps)
+        ]
 
     # -- channel bookkeeping -------------------------------------------------
 
@@ -278,18 +296,35 @@ class DownlinkSimulator:
             self._select_mcs()
 
     def _stream_success(self, t: float, client: int) -> bool:
-        """Whether ``client``'s stream decodes, given staleness + sync error."""
+        """Whether ``client``'s stream decodes, given staleness + sync error.
+
+        Each call models one packet's distributed phase synchronization, so
+        it emits one ``phase_sync`` span carrying the drawn slave phase
+        errors and the resulting effective SINR.
+        """
         if self._mcs is None:
             return False
-        true = self._channel_tensor(t)
-        from repro.sim.fastsim import joint_zf_sinr_db
+        with trace.span("phase_sync", client=client, t=t) as span:
+            true = self._channel_tensor(t)
+            from repro.sim.fastsim import joint_zf_sinr_db
 
-        errors = self.error_model.phase_errors(self.config.n_aps, self._rng)
-        sinr = joint_zf_sinr_db(
-            true, phase_errors=errors, est_channels=self._sounded_channels
-        )
-        eff = float(np.mean(sinr[client]))
-        return eff >= self._mcs.min_snr_db
+            errors = self.error_model.phase_errors(self.config.n_aps, self._rng)
+            sinr = joint_zf_sinr_db(
+                true, phase_errors=errors, est_channels=self._sounded_channels
+            )
+            eff = float(np.mean(sinr[client]))
+            success = eff >= self._mcs.min_snr_db
+            max_err = float(np.max(np.abs(errors)))
+            self._m_sinr.observe(eff)
+            self._m_phase_err.observe(max_err)
+            span.record(
+                max_phase_error_rad=max_err,
+                phase_errors_rad=errors,
+                effective_sinr_db=eff,
+                mcs=self._mcs.name,
+                success=success,
+            )
+        return success
 
     # -- traffic ---------------------------------------------------------------
 
@@ -332,6 +367,22 @@ class DownlinkSimulator:
 
     def run(self) -> SimulationTrace:
         cfg = self.config
+        with trace.span(
+            "mac.run", n_aps=cfg.n_aps, n_clients=cfg.n_clients,
+            duration_s=cfg.duration_s,
+        ) as span:
+            result = self._run()
+            span.record(
+                goodput_bps=result.total_goodput_bps,
+                deliveries=len(result.delivered),
+                failures=result.n_failures,
+                soundings=result.n_soundings,
+            )
+        metrics.gauge("mac.queue_depth_final").set(len(self.queue))
+        return result
+
+    def _run(self) -> SimulationTrace:
+        cfg = self.config
         arrivals = self._generate_arrivals()
         next_arrival = 0
         airtime = {"data": 0.0, "sounding": 0.0, "contention": 0.0, "idle": 0.0}
@@ -360,16 +411,26 @@ class DownlinkSimulator:
             # periodic re-sounding
             if now >= next_sound:
                 cost = sounding_airtime_s(cfg.n_aps, cfg.n_clients)
-                self._sound(now)
+                with trace.span("mac.sound", t=now, airtime_s=cost) as span:
+                    self._sound(now)
+                    span.record(
+                        mcs=self._mcs.name if self._mcs else None,
+                        effective_snr_db=self._effective_snr_db,
+                    )
                 log(now, "sound",
                     self._mcs.name if self._mcs else "below-MCS-floor")
                 airtime["sounding"] += cost
+                self._m_airtime["sounding"].inc(cost)
+                for counter in self._m_ap_airtime:
+                    counter.inc(cost)
                 now += cost
                 next_sound = now + cfg.resound_interval_s
                 n_soundings += 1
+                self._m_soundings.inc()
                 continue
 
             admit_arrivals(now)
+            self._m_queue_depth.observe(len(self.queue))
             group = self.scheduler.next_group()
             if group is None:
                 # idle until the next arrival or sounding
@@ -380,7 +441,9 @@ class DownlinkSimulator:
                     else cfg.duration_s,
                     cfg.duration_s,
                 )
-                airtime["idle"] += max(horizon - now, 1e-9)
+                idle = max(horizon - now, 1e-9)
+                airtime["idle"] += idle
+                self._m_airtime["idle"].inc(idle)
                 now = max(horizon, now + 1e-9)
                 continue
 
@@ -388,7 +451,9 @@ class DownlinkSimulator:
                 # channel can't sustain even the lowest rate: drop the burst
                 for packet in group.packets:
                     self.queue.requeue(packet)
+                    self._m_retries.inc()
                 airtime["idle"] += 1e-3
+                self._m_airtime["idle"].inc(1e-3)
                 now += 1e-3
                 continue
 
@@ -398,27 +463,42 @@ class DownlinkSimulator:
                 f"{group.n_streams} streams @ {self._mcs.name}")
             airtime["contention"] += cfg.contention_overhead_s
             airtime["data"] += tx_time
+            self._m_airtime["contention"].inc(cfg.contention_overhead_s)
+            self._m_airtime["data"].inc(tx_time)
+            for counter in self._m_ap_airtime:
+                counter.inc(tx_time)
             now += cfg.contention_overhead_s + tx_time
 
-            for packet in group.packets:
-                n_tx += 1
-                success = self._stream_success(now, packet.client)
-                self._record_outcome(success)
-                log(now, "deliver" if success else "fail",
-                    f"client{packet.client}")
-                if success:
-                    delivered_bits[packet.client] += cfg.packet_bytes * 8
-                    delivered.append(
-                        DeliveredPacket(
-                            client=packet.client,
-                            arrival_time=self._arrival_times.get(packet.seqno, 0.0),
-                            delivery_time=now,
-                            retries=packet.retries,
+            with trace.span(
+                "mac.burst", t=now, n_streams=group.n_streams,
+                mcs=self._mcs.name, airtime_s=tx_time,
+            ) as burst_span:
+                n_delivered = 0
+                for packet in group.packets:
+                    n_tx += 1
+                    success = self._stream_success(now, packet.client)
+                    self._record_outcome(success)
+                    log(now, "deliver" if success else "fail",
+                        f"client{packet.client}")
+                    if success:
+                        n_delivered += 1
+                        self._m_deliveries.inc()
+                        delivered_bits[packet.client] += cfg.packet_bytes * 8
+                        delivered.append(
+                            DeliveredPacket(
+                                client=packet.client,
+                                arrival_time=self._arrival_times.get(packet.seqno, 0.0),
+                                delivery_time=now,
+                                retries=packet.retries,
+                            )
                         )
-                    )
-                if not success:
-                    n_fail += 1
-                    self.queue.requeue(packet)  # §9: unACKed -> future burst
+                    if not success:
+                        n_fail += 1
+                        self._m_failures.inc()
+                        self._m_retries.inc()
+                        self.queue.requeue(packet)  # §9: unACKed -> future burst
+                burst_span.record(delivered=n_delivered,
+                                  failed=len(group.packets) - n_delivered)
 
         return SimulationTrace(
             config=cfg,

@@ -1,0 +1,51 @@
+"""repro.obs — zero-dependency observability for the PHY/MAC/sim stack.
+
+Three pillars (see ``docs/observability.md`` for schemas and a worked
+debugging example):
+
+* **Metrics** (:mod:`repro.obs.metrics`): process-global registry of
+  counters, gauges and reservoir histograms; renders to dict/JSON.
+* **Tracing** (:mod:`repro.obs.tracer`): ``with trace.span("joint_tx"):``
+  context managers and a ``@traced`` decorator emitting timestamped JSONL
+  records with nesting and wall/CPU timings.  Disabled by default with a
+  shared no-op span, so instrumentation is ~free until a trace sink is
+  configured.
+* **Logging** (:mod:`repro.obs.logging`): one stderr handler for the
+  ``repro`` logger hierarchy, keeping stdout clean for result tables.
+
+Typical CLI wiring::
+
+    from repro.obs import metrics, trace, setup_logging
+
+    setup_logging(verbosity=1)
+    trace.configure("out.jsonl")
+    ...  # run experiments
+    trace.close()
+    metrics.write_json("metrics.json")
+"""
+
+from repro.obs import metrics
+from repro.obs.events import SCHEMA_VERSION, iter_events, read_events
+from repro.obs.logging import get_logger, setup_logging
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.summary import TraceSummary, format_table, summarize
+from repro.obs.tracer import NULL_SPAN, Span, Tracer, trace, traced
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "TraceSummary",
+    "Tracer",
+    "format_table",
+    "get_logger",
+    "get_registry",
+    "iter_events",
+    "metrics",
+    "read_events",
+    "setup_logging",
+    "summarize",
+    "trace",
+    "traced",
+]

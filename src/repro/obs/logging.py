@@ -1,0 +1,68 @@
+"""Logging policy for the toolkit: diagnostics on stderr, results on stdout.
+
+Every module logs through ``get_logger(__name__)`` (all under the ``repro``
+hierarchy); :func:`setup_logging` attaches a single stderr handler at a
+level mapped from the CLI's ``-v``/``-q`` flags.  Result tables keep going
+to stdout via plain ``print`` — piping ``python -m repro figure 9`` into a
+file captures only the table, never log noise.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Root of the package's logger hierarchy.
+LOGGER_NAME = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Pass ``__name__`` from package modules (already rooted at ``repro``);
+    any other name is nested under it.
+    """
+    if name is None:
+        return logging.getLogger(LOGGER_NAME)
+    if name == LOGGER_NAME or name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map ``-q``/``-v`` counts to a logging level.
+
+    -1 (quiet) -> ERROR, 0 -> WARNING, 1 -> INFO, >=2 -> DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger once; safe to call repeatedly.
+
+    Args:
+        verbosity: Net ``-v`` minus ``-q`` count from the CLI.
+        stream: Output stream (default ``sys.stderr``; stdout is reserved
+            for result tables).
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(verbosity_to_level(verbosity))
+    logger.propagate = False
+    # replace any handler a previous setup_logging call attached
+    for handler in [h for h in logger.handlers if getattr(h, "_repro_obs", False)]:
+        logger.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_obs = True
+    logger.addHandler(handler)
+    return logger

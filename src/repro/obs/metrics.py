@@ -1,0 +1,238 @@
+"""Metrics registry: counters, gauges, and reservoir histograms.
+
+Hot paths grab a metric handle once (``metrics.counter("mac.arq.retries")``)
+and update it with plain attribute arithmetic — no string lookups, locks or
+allocation per update.  Histograms keep a preallocated numpy reservoir so
+``observe`` is an indexed store; percentiles are computed lazily when the
+registry is rendered.
+
+The module keeps one process-global :class:`MetricsRegistry` (the default
+target of the module-level helpers) because the simulators and the PHY stack
+are built independently but report into one run.  ``reset()`` zeroes every
+registered metric *in place*, so handles cached inside long-lived objects
+stay valid across runs.
+
+Everything renders to plain dicts (:meth:`MetricsRegistry.to_dict`) and JSON
+(:meth:`MetricsRegistry.write_json`); only stdlib + numpy are used.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+#: Default reservoir capacity of a histogram (samples kept for percentiles).
+DEFAULT_RESERVOIR = 4096
+
+
+class Counter:
+    """A monotonically increasing sum (events, seconds of airtime, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins instantaneous value (queue depth, backlog, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = None
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution with a preallocated reservoir.
+
+    The first ``capacity`` observations are stored verbatim; past that,
+    classic reservoir sampling keeps a uniform sample of everything seen.
+    Exact count / mean / min / max are tracked in running form regardless of
+    reservoir state, so only the percentiles are (slightly) approximate on
+    overflow.  The replacement RNG is seeded from the metric name, keeping
+    runs reproducible.
+    """
+
+    __slots__ = ("name", "capacity", "_values", "_stored", "count",
+                 "_sum", "_min", "_max", "_rng")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_RESERVOIR):
+        if capacity < 1:
+            raise ValueError("histogram capacity must be >= 1")
+        self.name = name
+        self.capacity = int(capacity)
+        self._values = np.empty(self.capacity, dtype=float)
+        self._stored = 0
+        self.count = 0
+        self._sum = 0.0
+        self._min = np.inf
+        self._max = -np.inf
+        self._rng = np.random.default_rng(zlib.crc32(name.encode()))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._stored < self.capacity:
+            self._values[self._stored] = value
+            self._stored += 1
+        else:
+            # reservoir sampling: keep each seen value with prob cap/count
+            j = int(self._rng.integers(0, self.count))
+            if j < self.capacity:
+                self._values[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.count if self.count else float("nan")
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else float("nan")
+
+    def percentile(self, q: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Percentile(s) of the reservoir sample (q in 0..100)."""
+        if self._stored == 0:
+            return float("nan") if np.isscalar(q) else np.full(np.shape(q), np.nan)
+        out = np.percentile(self._values[: self._stored], q)
+        return float(out) if np.isscalar(q) else out
+
+    def reset(self) -> None:
+        self._stored = 0
+        self.count = 0
+        self._sum = 0.0
+        self._min = np.inf
+        self._max = -np.inf
+
+    def to_dict(self) -> dict:
+        if self.count == 0:
+            return {"type": "histogram", "count": 0}
+        p50, p90, p95, p99 = (float(x) for x in self.percentile([50, 90, 95, 99]))
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": p50,
+            "p90": p90,
+            "p95": p95,
+            "p99": p99,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name -> metric store with get-or-create accessors."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, cls, *args) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, capacity: int = DEFAULT_RESERVOIR) -> Histogram:
+        return self._get(name, Histogram, capacity)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric in place (cached handles stay valid)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def to_dict(self) -> dict:
+        return {name: self._metrics[name].to_dict() for name in self.names()}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str, indent: int = 2) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json(indent=indent))
+            f.write("\n")
+
+
+#: The process-global registry every component reports into by default.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, capacity: int = DEFAULT_RESERVOIR) -> Histogram:
+    return _REGISTRY.histogram(name, capacity)
+
+
+def reset() -> None:
+    _REGISTRY.reset()
+
+
+def to_dict() -> dict:
+    return _REGISTRY.to_dict()
+
+
+def write_json(path: str, indent: int = 2) -> None:
+    _REGISTRY.write_json(path, indent=indent)

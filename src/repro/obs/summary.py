@@ -1,0 +1,149 @@
+"""Aggregate a JSONL trace into per-span-name statistics.
+
+This powers both ``python -m repro obs summarize out.jsonl`` and the
+``repro-trace`` console script.  The key derived quantity is **self time**:
+a span's wall time minus its direct children's wall time, which is what a
+profiler needs to rank hot *stages* (a ``joint_tx`` span is long, but the
+time lives in its ``ofdm_mod``/``precoding``/``channel_apply`` children).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.events import iter_events
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timings for one span name."""
+
+    name: str
+    count: int = 0
+    total_wall_s: float = 0.0
+    total_cpu_s: float = 0.0
+    total_self_s: float = 0.0
+    max_wall_s: float = 0.0
+    errors: int = 0
+
+    @property
+    def mean_wall_s(self) -> float:
+        return self.total_wall_s / self.count if self.count else float("nan")
+
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`summarize` extracts from one trace."""
+
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+    events: Dict[str, int] = field(default_factory=dict)
+    n_records: int = 0
+    schema: Optional[int] = None
+    total_wall_s: float = 0.0  # sum of root-span wall time
+
+    def top(self, k: Optional[int] = None, sort: str = "self") -> List[SpanStats]:
+        """Span stats ranked by ``self``/``total``/``mean``/``count``."""
+        key = {
+            "self": lambda s: s.total_self_s,
+            "total": lambda s: s.total_wall_s,
+            "mean": lambda s: s.mean_wall_s if s.count else 0.0,
+            "count": lambda s: s.count,
+        }[sort]
+        ranked = sorted(self.spans.values(), key=key, reverse=True)
+        return ranked[:k] if k is not None else ranked
+
+
+def summarize(source: Union[str, Iterable[dict]]) -> TraceSummary:
+    """Single-pass aggregation of a trace (path or iterable of records).
+
+    Children are emitted before their parents in the JSONL stream (spans
+    write on exit), so self time falls out of one forward pass: accumulate
+    each finished span's wall time against its parent's id, and subtract
+    whatever accumulated under a span's own id when it closes.
+    """
+    records = iter_events(source) if isinstance(source, str) else source
+    summary = TraceSummary()
+    child_wall: Dict[int, float] = {}
+    for record in records:
+        summary.n_records += 1
+        kind = record.get("type")
+        if kind == "meta":
+            summary.schema = record.get("schema")
+        elif kind == "event":
+            name = record.get("name", "?")
+            summary.events[name] = summary.events.get(name, 0) + 1
+        elif kind == "span":
+            name = record.get("name", "?")
+            wall = float(record.get("wall_s", 0.0))
+            stats = summary.spans.get(name)
+            if stats is None:
+                stats = summary.spans[name] = SpanStats(name=name)
+            stats.count += 1
+            stats.total_wall_s += wall
+            stats.total_cpu_s += float(record.get("cpu_s", 0.0))
+            stats.max_wall_s = max(stats.max_wall_s, wall)
+            if "error" in record:
+                stats.errors += 1
+            own_children = child_wall.pop(record.get("span_id"), 0.0)
+            stats.total_self_s += max(wall - own_children, 0.0)
+            parent = record.get("parent_id")
+            if parent is None:
+                summary.total_wall_s += wall
+            else:
+                child_wall[parent] = child_wall.get(parent, 0.0) + wall
+    return summary
+
+
+def format_table(
+    summary: TraceSummary, top_k: Optional[int] = None, sort: str = "self"
+) -> str:
+    """Render the ranked span table (plus event counts) as text."""
+    lines = [
+        f"{'span':<28} {'count':>7} {'total(ms)':>10} {'self(ms)':>10} "
+        f"{'mean(ms)':>9} {'max(ms)':>9} {'cpu(ms)':>9} {'err':>4}"
+    ]
+    for s in summary.top(top_k, sort=sort):
+        lines.append(
+            f"{s.name:<28} {s.count:>7d} {s.total_wall_s * 1e3:>10.2f} "
+            f"{s.total_self_s * 1e3:>10.2f} {s.mean_wall_s * 1e3:>9.3f} "
+            f"{s.max_wall_s * 1e3:>9.3f} {s.total_cpu_s * 1e3:>9.2f} "
+            f"{s.errors:>4d}"
+        )
+    if summary.events:
+        lines.append("")
+        lines.append("events: " + ", ".join(
+            f"{name} x{count}" for name, count in sorted(summary.events.items())
+        ))
+    lines.append(
+        f"{summary.n_records} records, root wall time "
+        f"{summary.total_wall_s * 1e3:.1f} ms"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro-trace``: summarize a JSONL trace from the command line."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Summarize a repro.obs JSONL trace (hot spans first).",
+    )
+    parser.add_argument("trace_file", help="path to a --trace JSONL output")
+    parser.add_argument("--top", type=int, default=None, metavar="K",
+                        help="show only the K hottest spans")
+    parser.add_argument("--sort", choices=("self", "total", "mean", "count"),
+                        default="self", help="ranking key (default: self time)")
+    args = parser.parse_args(argv)
+    try:
+        summary = summarize(args.trace_file)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    print(format_table(summary, top_k=args.top, sort=args.sort))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from repro.core.beamforming import (
 from repro.core.system import MegaMimoSystem, SystemConfig
 from repro.core.sounding import REFERENCE_OFFSET
 from repro.mac.rate import EffectiveSnrRateSelector
+from repro.obs import trace
 from repro.phy.channel_est import estimate_channel_lts
 from repro.phy.preamble import long_training_sequence, sync_header, sync_header_length
 from repro.sim.fastsim import (
@@ -165,48 +166,50 @@ def run_fig7(
     lts = long_training_sequence(repeats=1, cp_length=CP_LENGTH)  # 80 samples
 
     for s in range(n_systems):
-        cfg = SystemConfig(n_aps=2, n_clients=1, seed=int(rng.integers(1 << 31)))
-        # conference-room links have a line-of-sight component; without it,
-        # occasional deep Rayleigh fades at the receiver would dominate the
-        # measurement with estimation noise unrelated to phase sync
-        system = MegaMimoSystem.create(
-            cfg, client_snr_db=client_snr_db, channel_model=RicianChannel(k_factor=7.0)
-        )
-        system.run_sounding(0.0)
-        lead, slave = system.ap_ids
-        client = system.client_ids[0]
-        sync = system.synchronizers[slave]
-        header_len = sync_header_length()
-        reference_phase = None
-
-        for r in range(warmup_rounds + n_rounds):
-            t0 = 1e-3 + r * round_spacing_s
-            t0 = round(t0 * fs) / fs
-            system.medium.clear()
-            # lead sync header
-            system.medium.transmit(lead, sync_header(), t0)
-            hdr_rx = system.medium.receive(slave, t0, header_len)
-            obs = sync.observe_header(hdr_rx, t0 + REFERENCE_OFFSET / fs)
-            if r < warmup_rounds:
-                continue
-            # alternating symbols: lead then slave, one symbol apart
-            t_lead = t0 + (header_len + 1500) / fs  # ~150 us turnaround
-            t_slave = t_lead + SYMBOL_LENGTH / fs
-            system.medium.transmit(lead, lts, t_lead)
-            times = t_slave + np.arange(lts.size) / fs
-            corrected = lts * sync.correction(times, obs)
-            system.medium.transmit(slave, corrected, t_slave)
-            rx = system.medium.receive(client, t_lead, 2 * SYMBOL_LENGTH)
-            h_lead = estimate_channel_lts(rx[CP_LENGTH : CP_LENGTH + FFT_SIZE])
-            h_slave = estimate_channel_lts(
-                rx[SYMBOL_LENGTH + CP_LENGTH : SYMBOL_LENGTH + CP_LENGTH + FFT_SIZE]
+        with trace.span("experiment.cell", figure=7, system=s, n_rounds=n_rounds):
+            cfg = SystemConfig(n_aps=2, n_clients=1, seed=int(rng.integers(1 << 31)))
+            # conference-room links have a line-of-sight component; without it,
+            # occasional deep Rayleigh fades at the receiver would dominate the
+            # measurement with estimation noise unrelated to phase sync
+            system = MegaMimoSystem.create(
+                cfg, client_snr_db=client_snr_db,
+                channel_model=RicianChannel(k_factor=7.0),
             )
-            relative = float(np.angle(np.sum(h_slave * np.conj(h_lead))))
-            if reference_phase is None:
-                reference_phase = relative
-            else:
-                deviations.append(abs(wrap_phase(relative - reference_phase)))
-        system.medium.clear()
+            system.run_sounding(0.0)
+            lead, slave = system.ap_ids
+            client = system.client_ids[0]
+            sync = system.synchronizers[slave]
+            header_len = sync_header_length()
+            reference_phase = None
+
+            for r in range(warmup_rounds + n_rounds):
+                t0 = 1e-3 + r * round_spacing_s
+                t0 = round(t0 * fs) / fs
+                system.medium.clear()
+                # lead sync header
+                system.medium.transmit(lead, sync_header(), t0)
+                hdr_rx = system.medium.receive(slave, t0, header_len)
+                obs = sync.observe_header(hdr_rx, t0 + REFERENCE_OFFSET / fs)
+                if r < warmup_rounds:
+                    continue
+                # alternating symbols: lead then slave, one symbol apart
+                t_lead = t0 + (header_len + 1500) / fs  # ~150 us turnaround
+                t_slave = t_lead + SYMBOL_LENGTH / fs
+                system.medium.transmit(lead, lts, t_lead)
+                times = t_slave + np.arange(lts.size) / fs
+                corrected = lts * sync.correction(times, obs)
+                system.medium.transmit(slave, corrected, t_slave)
+                rx = system.medium.receive(client, t_lead, 2 * SYMBOL_LENGTH)
+                h_lead = estimate_channel_lts(rx[CP_LENGTH : CP_LENGTH + FFT_SIZE])
+                h_slave = estimate_channel_lts(
+                    rx[SYMBOL_LENGTH + CP_LENGTH : SYMBOL_LENGTH + CP_LENGTH + FFT_SIZE]
+                )
+                relative = float(np.angle(np.sum(h_slave * np.conj(h_lead))))
+                if reference_phase is None:
+                    reference_phase = relative
+                else:
+                    deviations.append(abs(wrap_phase(relative - reference_phase)))
+            system.medium.clear()
     return Fig7Result(misalignments_rad=np.asarray(deviations))
 
 
@@ -258,20 +261,24 @@ def run_fig8(
         band = SNR_BANDS_DB[band_name]
         curve = np.empty(n_receivers.size)
         for i, n in enumerate(n_receivers):
-            samples = []
-            for _ in range(n_topologies):
-                snrs = draw_band_snrs(band, n, n, rng)
-                channels = build_channel_tensor(snrs, rng)
-                est = error_model.corrupt_estimate(channels, snrs, rng)
-                for _ in range(n_packets):
-                    errors = error_model.phase_errors(n, rng)
-                    nulled = int(rng.integers(0, n))
-                    samples.append(
-                        nulling_inr_db(
-                            channels, nulled, phase_errors=errors, est_channels=est
+            with trace.span(
+                "experiment.cell", figure=8, band=band_name, n=int(n)
+            ) as cell:
+                samples = []
+                for _ in range(n_topologies):
+                    snrs = draw_band_snrs(band, n, n, rng)
+                    channels = build_channel_tensor(snrs, rng)
+                    est = error_model.corrupt_estimate(channels, snrs, rng)
+                    for _ in range(n_packets):
+                        errors = error_model.phase_errors(n, rng)
+                        nulled = int(rng.integers(0, n))
+                        samples.append(
+                            nulling_inr_db(
+                                channels, nulled, phase_errors=errors, est_channels=est
+                            )
                         )
-                    )
-            curve[i] = float(np.mean(samples))
+                curve[i] = float(np.mean(samples))
+                cell.record(n_samples=len(samples), mean_inr_db=curve[i])
         result[band_name] = curve
     return Fig8Result(n_receivers=n_receivers, inr_db=result)
 
@@ -409,41 +416,45 @@ def run_fig9(
         band = SNR_BANDS_DB[band_name]
         for n in n_aps:
             mm_totals, bl_totals, gains = [], [], []
-            for _ in range(n_topologies):
-                channels = draw_screened_channels(n, rng, max_penalty_db)
-                # scale so the effective (post-ZF) SNR hits the band target
-                _, k = zero_forcing_precoder_wideband(channels)
-                target_db = float(rng.uniform(band[0], band[1]))
-                scale = np.sqrt(db_to_linear(target_db) / k**2)
-                channels = channels * scale
-                link_snrs_db = linear_to_db(
-                    np.mean(np.abs(channels) ** 2, axis=0)
-                )
-                est = error_model.corrupt_estimate(channels, link_snrs_db, rng)
-                errors = error_model.phase_errors(n, rng)
-                sinr_db = joint_zf_sinr_db(
-                    channels, phase_errors=errors, est_channels=est
-                )
-                stream_rates = np.array(
-                    [selector.goodput(sinr_db[c]) for c in range(n)]
-                )
-                best_ap = np.argmax(link_snrs_db, axis=1)
-                unicast_rates = np.array(
-                    [
-                        selector.goodput(unicast_snr_db(channels, c, int(best_ap[c])))
-                        for c in range(n)
-                    ]
-                )
-                baseline_per_client = unicast_rates / n
-                mm_totals.append(float(np.sum(stream_rates)))
-                bl_totals.append(float(np.mean(unicast_rates)))
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    g = np.where(
-                        baseline_per_client > 0,
-                        stream_rates / np.maximum(baseline_per_client, 1e-9),
-                        np.nan,
+            with trace.span(
+                "experiment.cell", figure=9, band=band_name, n=int(n),
+                n_topologies=n_topologies,
+            ):
+                for _ in range(n_topologies):
+                    channels = draw_screened_channels(n, rng, max_penalty_db)
+                    # scale so the effective (post-ZF) SNR hits the band target
+                    _, k = zero_forcing_precoder_wideband(channels)
+                    target_db = float(rng.uniform(band[0], band[1]))
+                    scale = np.sqrt(db_to_linear(target_db) / k**2)
+                    channels = channels * scale
+                    link_snrs_db = linear_to_db(
+                        np.mean(np.abs(channels) ** 2, axis=0)
                     )
-                gains.extend(g[np.isfinite(g)].tolist())
+                    est = error_model.corrupt_estimate(channels, link_snrs_db, rng)
+                    errors = error_model.phase_errors(n, rng)
+                    sinr_db = joint_zf_sinr_db(
+                        channels, phase_errors=errors, est_channels=est
+                    )
+                    stream_rates = np.array(
+                        [selector.goodput(sinr_db[c]) for c in range(n)]
+                    )
+                    best_ap = np.argmax(link_snrs_db, axis=1)
+                    unicast_rates = np.array(
+                        [
+                            selector.goodput(unicast_snr_db(channels, c, int(best_ap[c])))
+                            for c in range(n)
+                        ]
+                    )
+                    baseline_per_client = unicast_rates / n
+                    mm_totals.append(float(np.sum(stream_rates)))
+                    bl_totals.append(float(np.mean(unicast_rates)))
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        g = np.where(
+                            baseline_per_client > 0,
+                            stream_rates / np.maximum(baseline_per_client, 1e-9),
+                            np.nan,
+                        )
+                    gains.extend(g[np.isfinite(g)].tolist())
             cells[(band_name, int(n))] = ScalingCell(
                 megamimo_bps=np.asarray(mm_totals),
                 baseline_bps=np.asarray(bl_totals),

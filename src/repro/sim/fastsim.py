@@ -27,12 +27,19 @@ from repro.core.beamforming import (
     zero_forcing_precoder,
     zero_forcing_precoder_wideband,
 )
+from repro.obs import metrics
 from repro.utils.rng import complex_normal, ensure_rng
 from repro.utils.units import db_to_linear, linear_to_db
 from repro.utils.validation import require
 
 #: Number of occupied OFDM subcarriers modelled per link.
 N_BINS = 52
+
+# module-level telemetry handles: these functions are the fast path of the
+# 20-topology figure sweeps, so the handles are resolved exactly once
+_OBS_PHASE_ERR = metrics.histogram("fastsim.phase_error_rad")
+_OBS_DRAWS = metrics.counter("fastsim.phase_error_draws")
+_OBS_ESTIMATES = metrics.counter("fastsim.estimates_corrupted")
 
 
 @dataclass
@@ -73,7 +80,11 @@ class SyncErrorModel:
         per_device = rng.normal(0.0, self.phase_sigma_rad, n_devices)
         if self.lead_is_perfect:
             per_device[0] = 0.0
-        return per_device[device_of]
+        errors = per_device[device_of]
+        _OBS_DRAWS.inc()
+        if errors.size:
+            _OBS_PHASE_ERR.observe(float(np.max(np.abs(errors))))
+        return errors
 
     def corrupt_estimate(self, channels: np.ndarray, snr_db, rng) -> np.ndarray:
         """Add estimation noise to a channel tensor.
@@ -89,6 +100,7 @@ class SyncErrorModel:
         snr = np.broadcast_to(snr, channels.shape[1:])
         scale = np.abs(channels) / np.sqrt(snr)[None, :, :]
         noise = complex_normal(rng, channels.shape, 1.0) * scale
+        _OBS_ESTIMATES.inc()
         return channels + noise
 
 

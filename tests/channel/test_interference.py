@@ -85,7 +85,7 @@ class TestImpactOnMegamimo:
         system.run_sounding(0.0)
         # park a strong tone on the band during the data frame
         system.medium.register_node(
-            "jam", Oscillator(OscillatorConfig(ppm_offset=0.3))
+            "jam", Oscillator(OscillatorConfig(ppm_offset=0.3), rng=6)
         )
         for client in system.client_antenna_ids:
             system.medium.set_link(

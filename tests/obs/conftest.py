@@ -1,0 +1,12 @@
+"""Shared hygiene for obs tests: the tracer and registry are process-global."""
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _close_global_tracer():
+    """Never leak an enabled global tracer into other tests."""
+    yield
+    trace.close()
