@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Benchmark the parallel sweep engine: serial vs. process-pool wall clock.
+
+Runs canned Monte-Carlo workloads (fig6, fig9, fastsim SINR grid) once with
+``workers=1`` and once with ``--workers N``, verifies the two runs produce
+bit-identical aggregates (SHA-256 over the canonical JSON of the results),
+and appends a machine-readable record to ``BENCH_sweeps.json``:
+
+    {"schema": 1, "runs": [{"ts": ..., "cpu_count": ..., "workloads": [...]}]}
+
+    python scripts/bench_sweeps.py                    # full workloads
+    python scripts/bench_sweeps.py --quick --workers 4
+    python scripts/bench_sweeps.py --quick --check-speedup --min-speedup 1.5
+
+``--check-speedup`` exits non-zero when the fig9 parallel speedup falls
+below ``--min-speedup`` — but only on machines with at least 2 usable
+cores; on a single-core box it records the timings and warns instead,
+because a real speedup is physically impossible there (CI enforces the
+floor on multi-core runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import setup_logging  # noqa: E402
+from repro.obs.events import jsonable  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sweeps.json"
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def digest(result) -> str:
+    """Canonical SHA-256 of a result payload — equality check across runs."""
+    blob = json.dumps(jsonable(result), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Workloads: name -> (callable(workers) -> digestable result, params dict)
+# ---------------------------------------------------------------------------
+
+
+def workload_fig6(quick: bool):
+    from repro.sim.experiments import run_fig6
+
+    n_channels = 24 if quick else 100
+
+    def run(workers: int):
+        r = run_fig6(seed=1, n_channels=n_channels, workers=workers)
+        return {str(snr): list(curve) for snr, curve in r.reduction_db.items()}
+
+    return run, {"n_channels": n_channels}
+
+
+def workload_fig9(quick: bool):
+    from repro.sim.experiments import run_fig9
+
+    n_aps = (2, 4, 6) if quick else (2, 4, 6, 8, 10)
+    n_topologies = 4 if quick else 10
+
+    def run(workers: int):
+        r = run_fig9(seed=4, n_aps=n_aps, n_topologies=n_topologies,
+                     workers=workers)
+        return {
+            f"{band}/{n}": {
+                "megamimo_bps": list(cell.megamimo_bps),
+                "baseline_bps": list(cell.baseline_bps),
+                "gains": list(cell.per_client_gains),
+            }
+            for (band, n), cell in sorted(r.cells.items())
+        }
+
+    return run, {"n_aps": list(n_aps), "n_topologies": n_topologies}
+
+
+def workload_fastsim_grid(quick: bool):
+    from repro.sim.fastsim import run_sinr_grid
+
+    sizes = (2, 4) if quick else (2, 4, 8)
+    n_trials = 24 if quick else 64
+
+    def run(workers: int):
+        return run_sinr_grid(seed=12, sizes=sizes, n_trials=n_trials,
+                             workers=workers)
+
+    return run, {"sizes": list(sizes), "n_trials": n_trials}
+
+
+WORKLOADS = {
+    "fig6": workload_fig6,
+    "fig9": workload_fig9,
+    "fastsim_grid": workload_fastsim_grid,
+}
+
+
+def bench_workload(name: str, quick: bool, workers: int) -> dict:
+    run, params = WORKLOADS[name](quick)
+
+    t0 = time.perf_counter()
+    serial = run(1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run(workers)
+    parallel_s = time.perf_counter() - t0
+
+    serial_digest = digest(serial)
+    parallel_digest = digest(parallel)
+    if serial_digest != parallel_digest:
+        raise SystemExit(
+            f"{name}: serial and {workers}-worker results differ "
+            f"({serial_digest[:12]} != {parallel_digest[:12]}) — "
+            "determinism regression"
+        )
+    return {
+        "workload": name,
+        "params": params,
+        "workers": workers,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "result_sha256": serial_digest,
+    }
+
+
+def append_record(output: Path, record: dict) -> None:
+    doc = {"schema": 1, "runs": []}
+    if output.exists():
+        try:
+            loaded = json.loads(output.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                doc = loaded
+        except json.JSONDecodeError:
+            print(f"warning: {output} is corrupt; starting fresh", file=sys.stderr)
+    doc["runs"].append(record)
+    output.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker count for the parallel runs (default 4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced problem sizes (CI smoke)")
+    parser.add_argument("--workloads", nargs="+", choices=sorted(WORKLOADS),
+                        default=sorted(WORKLOADS),
+                        help="subset of workloads to run")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"results file (default {DEFAULT_OUTPUT.name})")
+    parser.add_argument("--check-speedup", action="store_true",
+                        help="fail if the fig9 speedup is below --min-speedup "
+                             "(skipped on single-core machines)")
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    args = parser.parse_args(argv)
+    setup_logging(verbosity=0)
+
+    cpu_count = _usable_cpus()
+    record = {
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": cpu_count,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "workloads": [],
+    }
+    for name in args.workloads:
+        print(f"benchmarking {name} (workers={args.workers}, "
+              f"quick={args.quick}) ...", flush=True)
+        entry = bench_workload(name, args.quick, args.workers)
+        record["workloads"].append(entry)
+        print(f"  serial {entry['serial_s']:.2f}s  "
+              f"parallel {entry['parallel_s']:.2f}s  "
+              f"speedup {entry['speedup']}x  (results identical)")
+
+    append_record(args.output, record)
+    print(f"appended run record to {args.output}")
+
+    if args.check_speedup:
+        fig9 = next((w for w in record["workloads"] if w["workload"] == "fig9"),
+                    None)
+        if fig9 is None:
+            print("--check-speedup: fig9 workload not run", file=sys.stderr)
+            return 2
+        if cpu_count < 2:
+            print(f"--check-speedup: only {cpu_count} usable core(s); "
+                  f"recorded speedup {fig9['speedup']}x but skipping the "
+                  f">= {args.min_speedup}x gate (needs a multi-core machine)",
+                  file=sys.stderr)
+        elif fig9["speedup"] is None or fig9["speedup"] < args.min_speedup:
+            print(f"--check-speedup: fig9 speedup {fig9['speedup']}x is below "
+                  f"the {args.min_speedup}x floor", file=sys.stderr)
+            return 1
+        else:
+            print(f"--check-speedup: fig9 speedup {fig9['speedup']}x >= "
+                  f"{args.min_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

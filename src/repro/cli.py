@@ -63,6 +63,25 @@ def _add_figure_parser(subparsers, common) -> None:
         default=1.0,
         help="multiply the default topology/round counts (e.g. 2.0 = paper scale)",
     )
+    _add_runtime_options(p)
+
+
+def _add_runtime_options(p: argparse.ArgumentParser) -> None:
+    """Parallel-sweep flags (see docs/parallelism.md)."""
+    group = p.add_argument_group("runtime")
+    group.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for Monte-Carlo sweeps (default 1 = serial; "
+             "results are bit-identical for any N)",
+    )
+    group.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="append completed sweep chunks to a JSONL checkpoint FILE",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="skip chunks already recorded in --checkpoint",
+    )
 
 
 def _add_ablation_parser(subparsers, common) -> None:
@@ -74,6 +93,7 @@ def _add_ablation_parser(subparsers, common) -> None:
         choices=["sync", "tracking", "sounding", "cfo", "overhead", "screening"],
     )
     p.add_argument("--seed", type=int, default=None)
+    _add_runtime_options(p)
 
 
 def _add_simulate_parser(subparsers, common) -> None:
@@ -129,12 +149,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _runtime_kwargs(args, supported: bool, what: str) -> dict:
+    """Translate --workers/--checkpoint/--resume into runner kwargs.
+
+    Serial-only targets (``supported=False``) get an empty dict plus a
+    warning, so the flags never silently change semantics.
+    """
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
+    if not supported:
+        if args.workers != 1 or args.checkpoint:
+            logger.warning(
+                "%s runs serially; ignoring --workers/--checkpoint/--resume", what
+            )
+        return {}
+    return {
+        "workers": args.workers,
+        "checkpoint": args.checkpoint,
+        "resume": args.resume,
+    }
+
+
 def _run_figure(args) -> int:
     from repro.sim import experiments as E
 
     scale = max(args.scale, 0.1)
     n = args.number
     seed = args.seed
+    rt = _runtime_kwargs(args, supported=n in (6, 8, 9, 10, 11), what=f"figure {n}")
     logger.info("running figure %d at scale %.2f", n, scale)
 
     def kw(default_seed, **extra):
@@ -143,20 +185,20 @@ def _run_figure(args) -> int:
         return out
 
     if n == 6:
-        result = E.run_fig6(**kw(1, n_channels=max(int(100 * scale), 10)))
+        result = E.run_fig6(**kw(1, n_channels=max(int(100 * scale), 10)), **rt)
     elif n == 7:
         result = E.run_fig7(
             **kw(2, n_systems=max(int(8 * scale), 2), n_rounds=max(int(25 * scale), 5))
         )
     elif n == 8:
-        result = E.run_fig8(**kw(3, n_topologies=max(int(10 * scale), 2)))
+        result = E.run_fig8(**kw(3, n_topologies=max(int(10 * scale), 2)), **rt)
     elif n == 9:
-        result = E.run_fig9(**kw(4, n_topologies=max(int(10 * scale), 2)))
+        result = E.run_fig9(**kw(4, n_topologies=max(int(10 * scale), 2)), **rt)
     elif n == 10:
         result = E.run_fig10(n_topologies=max(int(10 * scale), 2),
-                             **kw(4))
+                             **kw(4), **rt)
     elif n == 11:
-        result = E.run_fig11(**kw(5, n_draws=max(int(20 * scale), 4)))
+        result = E.run_fig11(**kw(5, n_draws=max(int(20 * scale), 4)), **rt)
     elif n == 12:
         result = E.run_fig12(**kw(6, n_topologies=max(int(20 * scale), 4)))
     else:
@@ -171,10 +213,19 @@ def _run_ablation(args) -> int:
     from repro.sim.overhead import run_overhead_experiment
 
     seed = args.seed
+    rt = _runtime_kwargs(
+        args, supported=args.name in ("sync", "screening"),
+        what=f"ablation {args.name!r}",
+    )
+    if args.name == "screening":
+        # two nested fig9 sweeps would fight over one checkpoint file
+        if rt.pop("checkpoint", None):
+            logger.warning("screening ablation ignores --checkpoint/--resume")
+        rt.pop("resume", None)
     logger.info("running ablation %r", args.name)
     runners = {
         "sync": lambda: A.run_sync_strategy_ablation(
-            seed=seed if seed is not None else 7
+            seed=seed if seed is not None else 7, **rt
         ),
         "tracking": lambda: A.run_tracking_ablation(
             seed=seed if seed is not None else 8
@@ -189,7 +240,7 @@ def _run_ablation(args) -> int:
             seed=seed if seed is not None else 11
         ),
         "screening": lambda: A.run_screening_ablation(
-            seed=seed if seed is not None else 14
+            seed=seed if seed is not None else 14, **rt
         ),
     }
     result = runners[args.name]()
@@ -264,10 +315,17 @@ def _run_obs(args) -> int:
 
 
 def _dispatch(args) -> int:
-    if args.command == "figure":
-        return _run_figure(args)
-    if args.command == "ablation":
-        return _run_ablation(args)
+    from repro.runtime import CheckpointMismatch
+
+    try:
+        if args.command == "figure":
+            return _run_figure(args)
+        if args.command == "ablation":
+            return _run_ablation(args)
+    except CheckpointMismatch as exc:
+        logger.error("%s", exc)
+        logger.error("delete the file or rerun without --resume to start fresh")
+        return 1
     if args.command == "simulate":
         return _run_simulate(args)
     if args.command == "quickstart":

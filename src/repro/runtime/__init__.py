@@ -1,0 +1,51 @@
+"""Deterministic parallel sweep runtime.
+
+Public surface:
+
+* :func:`run_sweep` / :class:`CellSpec` / :class:`SweepResult` — the
+  process-pool sweep engine (:mod:`repro.runtime.engine`).
+* :func:`seed_sequence` / :func:`task_rng` / :func:`spawn_key` — per-task
+  seed derivation (:mod:`repro.runtime.seeding`).
+* Checkpoint plumbing (:mod:`repro.runtime.checkpoint`).
+
+See ``docs/parallelism.md`` for the determinism guarantees and the
+checkpoint file format.
+"""
+
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointMismatch,
+    load_completed,
+    sweep_header,
+)
+from repro.runtime.engine import (
+    DEFAULT_CHUNK_SIZE,
+    WORKER_ENV_FLAG,
+    CellSpec,
+    SweepError,
+    SweepResult,
+    assemble_results,
+    iter_chunks,
+    run_chunk,
+    run_sweep,
+)
+from repro.runtime.seeding import seed_sequence, spawn_key, task_rng
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointMismatch",
+    "CellSpec",
+    "DEFAULT_CHUNK_SIZE",
+    "SweepError",
+    "SweepResult",
+    "WORKER_ENV_FLAG",
+    "assemble_results",
+    "iter_chunks",
+    "load_completed",
+    "run_chunk",
+    "run_sweep",
+    "seed_sequence",
+    "spawn_key",
+    "sweep_header",
+    "task_rng",
+]

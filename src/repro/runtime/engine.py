@@ -1,0 +1,319 @@
+"""Deterministic process-pool sweep engine.
+
+Every figure reproduction and ablation is an embarrassingly parallel Monte
+Carlo sweep: a grid of *cells* (one per parameter combination), each
+running ``n_trials`` independent draws of a pure kernel function
+
+    kernel(params, seed) -> result
+
+where ``seed`` is a ``numpy.random.SeedSequence`` derived from
+``(master_seed, sweep_name, cell_index, trial_index)`` — see
+:mod:`repro.runtime.seeding`.  Because the stream is keyed on the task
+coordinate and not on scheduling, the aggregated output is bit-identical
+across ``workers=1``, any pool size, any chunking, and checkpoint/resume.
+
+Execution model:
+
+* trials are sharded into ``(cell, trial-chunk)`` work items;
+* ``workers > 1`` dispatches chunks to a ``ProcessPoolExecutor`` (stdlib
+  only, ``fork`` or ``spawn`` both fine: kernels are importable top-level
+  functions and params are picklable);
+* results are normalized through :func:`repro.obs.events.jsonable` and
+  re-ordered by ``(cell, trial)`` before aggregation, so completion order
+  cannot leak into the output;
+* a chunk whose future fails — the kernel raised, or the worker died and
+  the pool broke — is retried *serially in the parent process*, recorded
+  through ``repro.obs`` (``runtime.chunk_failures`` /
+  ``runtime.serial_retries`` counters and a trace event);
+* ``workers=1`` never touches multiprocessing at all;
+* an optional JSONL checkpoint persists each completed chunk, and
+  ``resume=True`` skips chunks already on disk (header-validated).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import get_logger, metrics, trace
+from repro.obs.events import jsonable
+from repro.runtime.checkpoint import open_checkpoint, sweep_header
+from repro.runtime.seeding import seed_sequence
+from repro.utils.validation import require
+
+logger = get_logger(__name__)
+
+#: Default trials per work item; small enough to load-balance, large enough
+#: to amortize task dispatch.
+DEFAULT_CHUNK_SIZE = 4
+
+#: Environment marker set in pool workers (via the pool initializer), so
+#: kernels and tests can tell worker context from the parent process.
+WORKER_ENV_FLAG = "REPRO_RUNTIME_WORKER"
+
+_CHUNKS_RUN = metrics.counter("runtime.chunks_run")
+_CHUNKS_RESUMED = metrics.counter("runtime.chunks_resumed")
+_CHUNK_FAILURES = metrics.counter("runtime.chunk_failures")
+_SERIAL_RETRIES = metrics.counter("runtime.serial_retries")
+
+
+class SweepError(RuntimeError):
+    """A sweep could not produce a complete, consistent result."""
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of a sweep grid.
+
+    Attributes:
+        key: JSON-able label of the cell (e.g. ``("high", 4)``).
+        params: Picklable kernel parameters shared by the cell's trials.
+        n_trials: Number of independent kernel draws in this cell.
+    """
+
+    key: Any
+    params: Any
+    n_trials: int
+
+
+@dataclass
+class SweepResult:
+    """Aggregated output of one sweep run.
+
+    Attributes:
+        name: Sweep name (the seed-derivation key).
+        master_seed: Master seed of the run.
+        cells: The cell specs, in grid order.
+        results: Per-cell kernel results, ordered by trial index.
+        chunk_failures: Work items that needed a serial retry.
+        resumed_chunks: Work items loaded from the checkpoint.
+    """
+
+    name: str
+    master_seed: int
+    cells: Sequence[CellSpec]
+    results: List[List[Any]]
+    chunk_failures: int = 0
+    resumed_chunks: int = 0
+
+    def cell_results(self, key: Any) -> List[Any]:
+        """The trial-ordered results of the cell labelled ``key``."""
+        normalized = jsonable(key)
+        for cell, results in zip(self.cells, self.results):
+            if jsonable(cell.key) == normalized:
+                return results
+        raise KeyError(key)
+
+
+def iter_chunks(n_trials: int, chunk_size: int):
+    """Yield ``(chunk_index, start, stop)`` covering every trial exactly once."""
+    require(n_trials >= 0, "n_trials must be non-negative")
+    require(chunk_size >= 1, "chunk_size must be >= 1")
+    for chunk_index, start in enumerate(range(0, n_trials, chunk_size)):
+        yield chunk_index, start, min(start + chunk_size, n_trials)
+
+
+def run_chunk(
+    kernel: Callable[[Any, Any], Any],
+    sweep: str,
+    master_seed: int,
+    params: Any,
+    cell_index: int,
+    start: int,
+    stop: int,
+) -> List[list]:
+    """Run one chunk's trials; returns ``[[trial_index, result], ...]``.
+
+    This is the unit of work shipped to pool workers, and also the exact
+    code the serial path and the failure-retry path run — one
+    implementation, three call sites, so the equivalence tests compare
+    scheduling only.
+    """
+    out = []
+    for t in range(start, stop):
+        seed = seed_sequence(master_seed, sweep, cell_index, t)
+        out.append([t, jsonable(kernel(params, seed))])
+    return out
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: mark the process and detach inherited obs.
+
+    The forked child inherits the parent's tracer (and its open file); spans
+    written from two processes would interleave mid-line, so workers run
+    with tracing detached.  Metrics incremented inside workers live in the
+    worker's copy of the registry and are intentionally not merged — the
+    engine accounts for work items in the parent.
+    """
+    os.environ[WORKER_ENV_FLAG] = "1"
+    trace.enabled = False
+    trace._writer = None
+
+
+def assemble_results(
+    cells: Sequence[CellSpec],
+    chunk_results: Dict[Tuple[int, int], List[list]],
+) -> List[List[Any]]:
+    """Re-order completed chunks into per-cell, trial-ordered result lists.
+
+    Permutation-invariant in the completion/submission order of
+    ``chunk_results`` (it sorts by trial index), and strict about coverage:
+    every trial of every cell must appear exactly once.
+    """
+    per_cell: List[Dict[int, Any]] = [{} for _ in cells]
+    for (cell_index, _chunk_index), pairs in chunk_results.items():
+        bucket = per_cell[cell_index]
+        for trial_index, result in pairs:
+            if trial_index in bucket:
+                raise SweepError(
+                    f"trial {trial_index} of cell {cell_index} produced twice"
+                )
+            bucket[int(trial_index)] = result
+    ordered: List[List[Any]] = []
+    for cell_index, (cell, bucket) in enumerate(zip(cells, per_cell)):
+        if len(bucket) != cell.n_trials:
+            missing = sorted(set(range(cell.n_trials)) - set(bucket))[:5]
+            raise SweepError(
+                f"cell {cell_index} ({cell.key!r}): {len(bucket)} of "
+                f"{cell.n_trials} trials completed (missing {missing}...)"
+            )
+        ordered.append([bucket[t] for t in range(cell.n_trials)])
+    return ordered
+
+
+def run_sweep(
+    name: str,
+    kernel: Callable[[Any, Any], Any],
+    cells: Sequence[CellSpec],
+    master_seed: int,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> SweepResult:
+    """Run a sweep grid, serially or across a process pool.
+
+    Args:
+        name: Sweep name; part of every task's seed-derivation key, and
+            stamped into the checkpoint header.
+        kernel: Pure, picklable ``(params, seed) -> result`` function; the
+            result must be JSON-serializable (floats/lists/dicts — it is
+            normalized through ``jsonable`` either way, so numpy scalars
+            and arrays are folded to plain Python).
+        cells: The sweep grid.
+        master_seed: Root of all derived seeds.
+        workers: Pool size; ``1`` runs in-process with no multiprocessing.
+        chunk_size: Trials per work item.
+        checkpoint: Optional JSONL progress-file path.
+        resume: Skip chunks already present in ``checkpoint``.
+
+    Returns:
+        A :class:`SweepResult` whose ``results`` are bit-identical for any
+        ``workers``/chunking/resume combination at the same master seed.
+    """
+    cells = list(cells)
+    require(workers >= 1, "workers must be >= 1")
+    header = sweep_header(name, master_seed, chunk_size, cells)
+    completed, writer = open_checkpoint(checkpoint, resume, header)
+    resumed = len(completed)
+    if resumed:
+        _CHUNKS_RESUMED.inc(resumed)
+
+    tasks = [
+        (cell_index, chunk_index, start, stop)
+        for cell_index, cell in enumerate(cells)
+        for chunk_index, start, stop in iter_chunks(cell.n_trials, chunk_size)
+    ]
+    pending = [t for t in tasks if (t[0], t[1]) not in completed]
+    failures = 0
+
+    def finish(task, results) -> None:
+        cell_index, chunk_index = task[0], task[1]
+        completed[(cell_index, chunk_index)] = results
+        _CHUNKS_RUN.inc()
+        if writer is not None:
+            writer.append_chunk(cell_index, chunk_index, results)
+
+    with trace.span(
+        "runtime.sweep", sweep=name, workers=workers, chunks=len(tasks),
+        resumed=resumed,
+    ) as span:
+        try:
+            if workers == 1 or not pending:
+                for task in pending:
+                    cell_index, _chunk_index, start, stop = task
+                    finish(task, run_chunk(
+                        kernel, name, master_seed, cells[cell_index].params,
+                        cell_index, start, stop,
+                    ))
+            else:
+                failures = _run_pool(
+                    name, kernel, cells, master_seed, workers, pending, finish
+                )
+        finally:
+            if writer is not None:
+                writer.close()
+        span.record(chunk_failures=failures)
+
+    results = assemble_results(cells, completed)
+    return SweepResult(
+        name=name,
+        master_seed=int(master_seed),
+        cells=cells,
+        results=results,
+        chunk_failures=failures,
+        resumed_chunks=resumed,
+    )
+
+
+def _run_pool(
+    name: str,
+    kernel,
+    cells: Sequence[CellSpec],
+    master_seed: int,
+    workers: int,
+    pending,
+    finish,
+) -> int:
+    """Dispatch chunks to a process pool; retry failures serially in-parent.
+
+    Returns the number of chunks that needed a serial retry.  A dead worker
+    breaks the whole pool (``BrokenProcessPool``); every not-yet-finished
+    future then fails fast and each chunk is re-run serially, so the sweep
+    degrades gracefully to in-process execution rather than aborting.
+    """
+    failures = 0
+    with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
+        futures = {
+            pool.submit(
+                run_chunk, kernel, name, master_seed, cells[task[0]].params,
+                task[0], task[2], task[3],
+            ): task
+            for task in pending
+        }
+        for future in as_completed(futures):
+            task = futures[future]
+            cell_index, chunk_index, start, stop = task
+            try:
+                results = future.result()
+            except Exception as exc:  # kernel error or broken pool
+                failures += 1
+                _CHUNK_FAILURES.inc()
+                logger.warning(
+                    "chunk (cell=%d, chunk=%d) of sweep %r failed in the "
+                    "pool (%s: %s); retrying serially",
+                    cell_index, chunk_index, name, type(exc).__name__, exc,
+                )
+                trace.event(
+                    "runtime.chunk_failure", sweep=name, cell=cell_index,
+                    chunk=chunk_index, error=type(exc).__name__,
+                )
+                results = run_chunk(
+                    kernel, name, master_seed, cells[cell_index].params,
+                    cell_index, start, stop,
+                )
+                _SERIAL_RETRIES.inc()
+            finish(task, results)
+    return failures

@@ -31,6 +31,7 @@ from repro.core.sounding import (
 )
 from repro.core.system import MegaMimoSystem, SystemConfig
 from repro.phy.preamble import lts_grid, sync_header, sync_header_length
+from repro.runtime import CellSpec, run_sweep
 from repro.utils.rng import ensure_rng
 from repro.utils.units import wrap_phase
 
@@ -63,11 +64,63 @@ class SyncAblationResult:
         return "\n".join(lines)
 
 
+def sync_ablation_kernel(params, seed):
+    """One sync-ablation trial: every strategy run on *one* shared system.
+
+    The strategies are paired — the same system seed (channels,
+    oscillators, placement) underlies each of them — so the comparison
+    isolates the synchronization strategy, exactly as the original serial
+    loop reused one seed list across strategies.  Returns
+    ``{strategy: [|misalignment| per delay]}``.
+    """
+    rng = ensure_rng(seed)
+    system_seed = int(rng.integers(1 << 31))
+    delays_s = params["delays_s"]
+    out = {}
+    for strategy in params["strategies"]:
+        config = SystemConfig(
+            n_aps=2, n_clients=2, seed=system_seed, sync_strategy=strategy
+        )
+        system = MegaMimoSystem.create(
+            config,
+            client_snr_db=25.0,
+            channel_model=RicianChannel(k_factor=8.0),
+        )
+        system.run_sounding(0.0)
+        curve = []
+        for delay in delays_s:
+            report = system.joint_transmit(
+                [b"A" * 16, b"B" * 16],
+                __mcs0(),
+                start_time=float(delay),
+            )
+            if strategy == "none":
+                # genie misalignment of the uncorrected slave
+                lead = system.medium.oscillator(system.lead_id)
+                slave = system.medium.oscillator(system.ap_ids[1])
+                tref = system.reference_time
+                t = report.joint_start_time
+                err = (
+                    lead.phase_at([t])[0]
+                    - slave.phase_at([t])[0]
+                    - lead.phase_at([tref])[0]
+                    + slave.phase_at([tref])[0]
+                )
+                curve.append(abs(wrap_phase(err)))
+            else:
+                curve.append(float(np.mean(list(report.misalignment_rad.values()))))
+        out[strategy] = curve
+    return out
+
+
 def run_sync_strategy_ablation(
     seed: int = 7,
     strategies: Sequence[str] = ("megamimo", "naive", "none"),
     delays_s: Sequence[float] = (2e-3, 10e-3, 50e-3, 150e-3),
     n_systems: int = 4,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> SyncAblationResult:
     """Measure genie slave misalignment for each strategy and elapsed time.
 
@@ -75,44 +128,30 @@ def run_sync_strategy_ablation(
     elapsed time; the naive extrapolation grows linearly until it wraps;
     no correction drifts immediately.
     """
-    rng = ensure_rng(seed)
     delays_s = np.asarray(list(delays_s), dtype=float)
-    result: Dict[str, np.ndarray] = {}
-    seeds = [int(rng.integers(1 << 31)) for _ in range(n_systems)]
-    for strategy in strategies:
-        sums = np.zeros(delays_s.size)
-        for system_seed in seeds:
-            config = SystemConfig(
-                n_aps=2, n_clients=2, seed=system_seed, sync_strategy=strategy
+    sweep = run_sweep(
+        "ablation.sync",
+        sync_ablation_kernel,
+        [
+            CellSpec(
+                key="systems",
+                params={
+                    "strategies": tuple(strategies),
+                    "delays_s": [float(d) for d in delays_s],
+                },
+                n_trials=n_systems,
             )
-            system = MegaMimoSystem.create(
-                config,
-                client_snr_db=25.0,
-                channel_model=RicianChannel(k_factor=8.0),
-            )
-            system.run_sounding(0.0)
-            for i, delay in enumerate(delays_s):
-                report = system.joint_transmit(
-                    [b"A" * 16, b"B" * 16],
-                    __mcs0(),
-                    start_time=float(delay),
-                )
-                if strategy == "none":
-                    # genie misalignment of the uncorrected slave
-                    lead = system.medium.oscillator(system.lead_id)
-                    slave = system.medium.oscillator(system.ap_ids[1])
-                    tref = system.reference_time
-                    t = report.joint_start_time
-                    err = (
-                        lead.phase_at([t])[0]
-                        - slave.phase_at([t])[0]
-                        - lead.phase_at([tref])[0]
-                        + slave.phase_at([tref])[0]
-                    )
-                    sums[i] += abs(wrap_phase(err))
-                else:
-                    sums[i] += float(np.mean(list(report.misalignment_rad.values())))
-        result[strategy] = sums / n_systems
+        ],
+        master_seed=seed,
+        workers=workers,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    trials = sweep.results[0]
+    result: Dict[str, np.ndarray] = {
+        strategy: np.mean([t[strategy] for t in trials], axis=0)
+        for strategy in strategies
+    }
     return SyncAblationResult(delays_s=delays_s, misalignment_rad=result)
 
 
@@ -424,6 +463,7 @@ def run_screening_ablation(
     seed: int = 14,
     n_aps: Sequence[int] = (4, 8),
     n_topologies: int = 8,
+    workers: int = 1,
 ) -> ScreeningAblationResult:
     """Fig. 9's placement screen on vs. off.
 
@@ -436,11 +476,11 @@ def run_screening_ablation(
 
     screened_run = run_fig9(
         seed=seed, n_aps=tuple(n_aps), n_topologies=n_topologies,
-        max_penalty_db=2.0,
+        max_penalty_db=2.0, workers=workers,
     )
     unscreened_run = run_fig9(
         seed=seed, n_aps=tuple(n_aps), n_topologies=n_topologies,
-        max_penalty_db=None,
+        max_penalty_db=None, workers=workers,
     )
     return ScreeningAblationResult(
         n_aps=list(n_aps),

@@ -5,6 +5,15 @@ and returns a small result object with the figure's series plus a
 ``format_table()`` that prints the same rows/curves the paper plots.  The
 benchmark suite calls these runners; ``EXPERIMENTS.md`` records their output
 against the paper's numbers.
+
+The Monte Carlo figures (6, 8, 9/10, 11) are structured as pure
+``kernel(params, seed) -> result`` functions dispatched through the
+deterministic sweep engine (:mod:`repro.runtime`): each trial draws from
+its own seed stream derived from ``(seed, figure, cell, trial)``, so the
+aggregated results are bit-identical for any ``workers`` count and across
+checkpoint/resume (see ``docs/parallelism.md``).  The sample-level
+protocol figures (7, 12, 13) remain serial: they run a handful of
+stateful full-waveform systems, not wide trial grids.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from repro.mac.rate import EffectiveSnrRateSelector
 from repro.obs import trace
 from repro.phy.channel_est import estimate_channel_lts
 from repro.phy.preamble import long_training_sequence, sync_header, sync_header_length
+from repro.runtime import CellSpec, run_sweep
 from repro.sim.fastsim import (
     SyncErrorModel,
     build_channel_tensor,
@@ -50,6 +60,13 @@ from repro.utils.rng import ensure_rng
 from repro.utils.units import db_to_linear, linear_to_db, wrap_phase
 
 BAND_ORDER = ("high", "medium", "low")
+
+
+def _master_seed(seed) -> int:
+    """Root integer seed of a sweep; generators are collapsed to one draw."""
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return int(ensure_rng(seed).integers(1 << 63))
 
 
 # ---------------------------------------------------------------------------
@@ -81,28 +98,51 @@ class Fig6Result:
         return "\n".join(lines)
 
 
+def fig6_kernel(params, seed):
+    """One Fig. 6 trial: a random 2x2 channel's loss over the (SNR,
+    misalignment) grid.  Returns ``[[loss per misalignment] per SNR]``."""
+    rng = ensure_rng(seed)
+    h = random_channel_matrix(params["n_rx"], params["n_tx"], rng=rng)
+    return [
+        [float(np.mean(snr_reduction_from_misalignment(h, m, snr)))
+         for m in params["misalignments"]]
+        for snr in params["snrs_db"]
+    ]
+
+
 def run_fig6(
     seed: int = 1,
     n_channels: int = 100,
     misalignments: Optional[Sequence[float]] = None,
     snrs_db: Sequence[float] = (10.0, 20.0),
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> Fig6Result:
     """Fig. 6 methodology: 2 TX, 2 RX, 100 random channel matrices,
     misalignments 0..0.5 rad, average SNR 10 and 20 dB."""
-    rng = ensure_rng(seed)
     if misalignments is None:
         misalignments = np.linspace(0.0, 0.5, 11)
     misalignments = np.asarray(misalignments, dtype=float)
-    channels = [random_channel_matrix(2, 2, rng=rng) for _ in range(n_channels)]
-    reduction: Dict[float, np.ndarray] = {}
-    for snr in snrs_db:
-        curve = np.empty(misalignments.size)
-        for i, m in enumerate(misalignments):
-            losses = [
-                np.mean(snr_reduction_from_misalignment(h, m, snr)) for h in channels
-            ]
-            curve[i] = float(np.mean(losses))
-        reduction[float(snr)] = curve
+    params = {
+        "n_rx": 2,
+        "n_tx": 2,
+        "misalignments": [float(m) for m in misalignments],
+        "snrs_db": [float(s) for s in snrs_db],
+    }
+    sweep = run_sweep(
+        "fig6",
+        fig6_kernel,
+        [CellSpec(key="channels", params=params, n_trials=n_channels)],
+        master_seed=_master_seed(seed),
+        workers=workers,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    per_channel = np.asarray(sweep.results[0])  # (n_channels, n_snrs, n_mis)
+    reduction: Dict[float, np.ndarray] = {
+        float(s): per_channel[:, i, :].mean(axis=0) for i, s in enumerate(snrs_db)
+    }
     return Fig6Result(misalignments_rad=misalignments, reduction_db=reduction)
 
 
@@ -244,39 +284,67 @@ class Fig8Result:
         return "\n".join(lines)
 
 
+def fig8_kernel(params, seed):
+    """One Fig. 8 trial: a topology's per-packet nulling INR samples (dB)."""
+    rng = ensure_rng(seed)
+    n = params["n"]
+    error_model = params["error_model"]
+    snrs = draw_band_snrs(params["band"], n, n, rng)
+    channels = build_channel_tensor(snrs, rng)
+    est = error_model.corrupt_estimate(channels, snrs, rng)
+    samples = []
+    for _ in range(params["n_packets"]):
+        errors = error_model.phase_errors(n, rng)
+        nulled = int(rng.integers(0, n))
+        samples.append(
+            float(nulling_inr_db(channels, nulled, phase_errors=errors, est_channels=est))
+        )
+    return samples
+
+
 def run_fig8(
     seed: int = 3,
     n_receivers: Sequence[int] = tuple(range(2, 11)),
     n_topologies: int = 10,
     n_packets: int = 5,
     error_model: Optional[SyncErrorModel] = None,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> Fig8Result:
     """Fig. 8 methodology: equal AP/client counts per SNR band; null at each
     client in turn; average the (leak+noise)/noise ratio."""
-    rng = ensure_rng(seed)
     error_model = error_model or SyncErrorModel()
     n_receivers = np.asarray(list(n_receivers), dtype=int)
+    cells = [
+        CellSpec(
+            key=(band_name, int(n)),
+            params={
+                "band": SNR_BANDS_DB[band_name],
+                "n": int(n),
+                "n_packets": n_packets,
+                "error_model": error_model,
+            },
+            n_trials=n_topologies,
+        )
+        for band_name in BAND_ORDER
+        for n in n_receivers
+    ]
+    sweep = run_sweep(
+        "fig8", fig8_kernel, cells, master_seed=_master_seed(seed),
+        workers=workers, checkpoint=checkpoint, resume=resume,
+    )
     result: Dict[str, np.ndarray] = {}
     for band_name in BAND_ORDER:
-        band = SNR_BANDS_DB[band_name]
         curve = np.empty(n_receivers.size)
         for i, n in enumerate(n_receivers):
             with trace.span(
                 "experiment.cell", figure=8, band=band_name, n=int(n)
             ) as cell:
-                samples = []
-                for _ in range(n_topologies):
-                    snrs = draw_band_snrs(band, n, n, rng)
-                    channels = build_channel_tensor(snrs, rng)
-                    est = error_model.corrupt_estimate(channels, snrs, rng)
-                    for _ in range(n_packets):
-                        errors = error_model.phase_errors(n, rng)
-                        nulled = int(rng.integers(0, n))
-                        samples.append(
-                            nulling_inr_db(
-                                channels, nulled, phase_errors=errors, est_channels=est
-                            )
-                        )
+                samples = [
+                    s for trial in sweep.cell_results((band_name, int(n)))
+                    for s in trial
+                ]
                 curve[i] = float(np.mean(samples))
                 cell.record(n_samples=len(samples), mean_inr_db=curve[i])
         result[band_name] = curve
@@ -383,6 +451,51 @@ class Fig9Result:
         return "\n".join(lines)
 
 
+def fig9_kernel(params, seed):
+    """One Fig. 9 trial: a screened topology's MegaMIMO and 802.11 totals.
+
+    Returns ``{"megamimo_bps", "baseline_bps", "gains"}`` for one topology
+    draw; the runner aggregates trial lists into :class:`ScalingCell`s.
+    """
+    rng = ensure_rng(seed)
+    n = params["n"]
+    band = params["band"]
+    error_model = params["error_model"]
+    selector = EffectiveSnrRateSelector(
+        params["sample_rate"], mac_efficiency=MAC_EFFICIENCY
+    )
+    channels = draw_screened_channels(n, rng, params["max_penalty_db"])
+    # scale so the effective (post-ZF) SNR hits the band target
+    _, k = zero_forcing_precoder_wideband(channels)
+    target_db = float(rng.uniform(band[0], band[1]))
+    scale = np.sqrt(db_to_linear(target_db) / k**2)
+    channels = channels * scale
+    link_snrs_db = linear_to_db(np.mean(np.abs(channels) ** 2, axis=0))
+    est = error_model.corrupt_estimate(channels, link_snrs_db, rng)
+    errors = error_model.phase_errors(n, rng)
+    sinr_db = joint_zf_sinr_db(channels, phase_errors=errors, est_channels=est)
+    stream_rates = np.array([selector.goodput(sinr_db[c]) for c in range(n)])
+    best_ap = np.argmax(link_snrs_db, axis=1)
+    unicast_rates = np.array(
+        [
+            selector.goodput(unicast_snr_db(channels, c, int(best_ap[c])))
+            for c in range(n)
+        ]
+    )
+    baseline_per_client = unicast_rates / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(
+            baseline_per_client > 0,
+            stream_rates / np.maximum(baseline_per_client, 1e-9),
+            np.nan,
+        )
+    return {
+        "megamimo_bps": float(np.sum(stream_rates)),
+        "baseline_bps": float(np.mean(unicast_rates)),
+        "gains": g[np.isfinite(g)].tolist(),
+    }
+
+
 def run_fig9(
     seed: int = 4,
     n_aps: Sequence[int] = tuple(range(2, 11)),
@@ -390,6 +503,9 @@ def run_fig9(
     error_model: Optional[SyncErrorModel] = None,
     sample_rate: float = SAMPLE_RATE_USRP,
     max_penalty_db: float = 2.0,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> Fig9Result:
     """Figs. 9/10 methodology: N APs and N clients placed per SNR band;
     measure total throughput with 802.11 (equal medium shares from the best
@@ -406,59 +522,41 @@ def run_fig9(
     APs): the ZF power penalty is hidden by MCS saturation at high SNR but
     not at low SNR.
     """
-    rng = ensure_rng(seed)
     error_model = error_model or SyncErrorModel()
-    selector = EffectiveSnrRateSelector(sample_rate, mac_efficiency=MAC_EFFICIENCY)
     n_aps = np.asarray(list(n_aps), dtype=int)
+    grid = [
+        CellSpec(
+            key=(band_name, int(n)),
+            params={
+                "band": SNR_BANDS_DB[band_name],
+                "n": int(n),
+                "error_model": error_model,
+                "sample_rate": sample_rate,
+                "max_penalty_db": max_penalty_db,
+            },
+            n_trials=n_topologies,
+        )
+        for band_name in BAND_ORDER
+        for n in n_aps
+    ]
+    sweep = run_sweep(
+        "fig9", fig9_kernel, grid, master_seed=_master_seed(seed),
+        workers=workers, checkpoint=checkpoint, resume=resume,
+    )
     cells: Dict[Tuple[str, int], ScalingCell] = {}
-
     for band_name in BAND_ORDER:
-        band = SNR_BANDS_DB[band_name]
         for n in n_aps:
-            mm_totals, bl_totals, gains = [], [], []
             with trace.span(
                 "experiment.cell", figure=9, band=band_name, n=int(n),
                 n_topologies=n_topologies,
             ):
-                for _ in range(n_topologies):
-                    channels = draw_screened_channels(n, rng, max_penalty_db)
-                    # scale so the effective (post-ZF) SNR hits the band target
-                    _, k = zero_forcing_precoder_wideband(channels)
-                    target_db = float(rng.uniform(band[0], band[1]))
-                    scale = np.sqrt(db_to_linear(target_db) / k**2)
-                    channels = channels * scale
-                    link_snrs_db = linear_to_db(
-                        np.mean(np.abs(channels) ** 2, axis=0)
-                    )
-                    est = error_model.corrupt_estimate(channels, link_snrs_db, rng)
-                    errors = error_model.phase_errors(n, rng)
-                    sinr_db = joint_zf_sinr_db(
-                        channels, phase_errors=errors, est_channels=est
-                    )
-                    stream_rates = np.array(
-                        [selector.goodput(sinr_db[c]) for c in range(n)]
-                    )
-                    best_ap = np.argmax(link_snrs_db, axis=1)
-                    unicast_rates = np.array(
-                        [
-                            selector.goodput(unicast_snr_db(channels, c, int(best_ap[c])))
-                            for c in range(n)
-                        ]
-                    )
-                    baseline_per_client = unicast_rates / n
-                    mm_totals.append(float(np.sum(stream_rates)))
-                    bl_totals.append(float(np.mean(unicast_rates)))
-                    with np.errstate(divide="ignore", invalid="ignore"):
-                        g = np.where(
-                            baseline_per_client > 0,
-                            stream_rates / np.maximum(baseline_per_client, 1e-9),
-                            np.nan,
-                        )
-                    gains.extend(g[np.isfinite(g)].tolist())
+                trials = sweep.cell_results((band_name, int(n)))
             cells[(band_name, int(n))] = ScalingCell(
-                megamimo_bps=np.asarray(mm_totals),
-                baseline_bps=np.asarray(bl_totals),
-                per_client_gains=np.asarray(gains),
+                megamimo_bps=np.asarray([t["megamimo_bps"] for t in trials]),
+                baseline_bps=np.asarray([t["baseline_bps"] for t in trials]),
+                per_client_gains=np.asarray(
+                    [g for t in trials for g in t["gains"]]
+                ),
             )
     return Fig9Result(n_aps=n_aps, cells=cells)
 
@@ -526,6 +624,33 @@ class Fig11Result:
         return "\n".join(lines)
 
 
+def fig11_kernel(params, seed):
+    """One Fig. 11 trial: per-SNR throughput of one fading draw (bps).
+
+    ``n_aps == 1`` is the 802.11 single-transmitter baseline; otherwise all
+    APs beamform the same stream coherently (§8).
+    """
+    rng = ensure_rng(seed)
+    n = params["n_aps"]
+    error_model = params["error_model"]
+    selector = EffectiveSnrRateSelector(
+        params["sample_rate"], mac_efficiency=MAC_EFFICIENCY
+    )
+    rates = []
+    for s in params["snr_db"]:
+        if n == 1:
+            snrs = np.full((1, 1), s)
+            channels = build_channel_tensor(snrs, rng)
+            rates.append(float(selector.goodput(unicast_snr_db(channels, 0, 0))))
+        else:
+            snrs = np.full((1, n), s) + rng.normal(0, 1.0, (1, n))
+            channels = build_channel_tensor(snrs, rng)  # (bins, 1, n)
+            errors = error_model.phase_errors(n, rng)
+            div = diversity_snr_db(channels[:, 0, :], phase_errors=errors)
+            rates.append(float(selector.goodput(div)))
+    return rates
+
+
 def run_fig11(
     seed: int = 5,
     n_aps_list: Sequence[int] = (2, 4, 6, 8, 10),
@@ -533,40 +658,40 @@ def run_fig11(
     n_draws: int = 30,
     error_model: Optional[SyncErrorModel] = None,
     sample_rate: float = SAMPLE_RATE_USRP,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> Fig11Result:
     """Fig. 11 methodology: one client with roughly equal SNR to all APs;
     all APs beamform the same stream coherently (§8)."""
-    rng = ensure_rng(seed)
     error_model = error_model or SyncErrorModel()
-    selector = EffectiveSnrRateSelector(sample_rate, mac_efficiency=MAC_EFFICIENCY)
     if snr_db is None:
         snr_db = np.arange(-5.0, 26.0, 2.5)
     snr_db = np.asarray(snr_db, dtype=float)
+
+    # cell key 1 is the 802.11 single-transmitter baseline
+    sizes = [1] + [int(n) for n in n_aps_list if int(n) != 1]
+    cells = [
+        CellSpec(
+            key=n,
+            params={
+                "n_aps": n,
+                "snr_db": [float(s) for s in snr_db],
+                "error_model": error_model,
+                "sample_rate": sample_rate,
+            },
+            n_trials=n_draws,
+        )
+        for n in sizes
+    ]
+    sweep = run_sweep(
+        "fig11", fig11_kernel, cells, master_seed=_master_seed(seed),
+        workers=workers, checkpoint=checkpoint, resume=resume,
+    )
     result: Dict[int, np.ndarray] = {}
-
-    # 802.11 baseline: a single transmitter at the link SNR
-    base = np.empty(snr_db.size)
-    for i, s in enumerate(snr_db):
-        rates = []
-        for _ in range(n_draws):
-            snrs = np.full((1, 1), s)
-            channels = build_channel_tensor(snrs, rng)
-            rates.append(selector.goodput(unicast_snr_db(channels, 0, 0)))
-        base[i] = float(np.mean(rates)) / 1e6
-    result[1] = base
-
-    for n in n_aps_list:
-        curve = np.empty(snr_db.size)
-        for i, s in enumerate(snr_db):
-            rates = []
-            for _ in range(n_draws):
-                snrs = np.full((1, n), s) + rng.normal(0, 1.0, (1, n))
-                channels = build_channel_tensor(snrs, rng)  # (bins, 1, n)
-                errors = error_model.phase_errors(n, rng)
-                div = diversity_snr_db(channels[:, 0, :], phase_errors=errors)
-                rates.append(selector.goodput(div))
-            curve[i] = float(np.mean(rates)) / 1e6
-        result[int(n)] = curve
+    for n in sizes:
+        trials = np.asarray(sweep.cell_results(n))  # (n_draws, n_snrs)
+        result[n] = trials.mean(axis=0) / 1e6
     return Fig11Result(snr_db=snr_db, throughput_mbps=result)
 
 

@@ -284,3 +284,73 @@ def unicast_snr_db(channels: np.ndarray, client: int, ap: int,
     """Per-subcarrier single-AP unicast SNR (the 802.11 baseline link)."""
     channels = np.asarray(channels, dtype=complex)
     return linear_to_db(np.abs(channels[:, client, ap]) ** 2 / noise_power)
+
+
+# ---------------------------------------------------------------------------
+# Canned fast-path Monte Carlo sweep (benchmark + runtime-engine workload)
+# ---------------------------------------------------------------------------
+
+
+def sinr_grid_kernel(params, seed):
+    """One fast-path trial: joint-ZF SINR statistics of a random topology.
+
+    A pure ``(params, seed) -> result`` kernel for the sweep engine — one
+    NxN draw from the band, corrupted estimate, per-device phase errors,
+    and the resulting post-beamforming SINR summary.
+    """
+    rng = ensure_rng(seed)
+    n = params["n"]
+    error_model = params["error_model"]
+    snrs = draw_band_snrs(tuple(params["band"]), n, n, rng)
+    channels = build_channel_tensor(snrs, rng)
+    est = error_model.corrupt_estimate(channels, snrs, rng)
+    errors = error_model.phase_errors(n, rng)
+    sinr_db = joint_zf_sinr_db(channels, phase_errors=errors, est_channels=est)
+    return {
+        "mean_sinr_db": float(np.mean(sinr_db)),
+        "min_sinr_db": float(np.min(sinr_db)),
+        "max_sinr_db": float(np.max(sinr_db)),
+    }
+
+
+def run_sinr_grid(
+    seed: int = 12,
+    sizes: Sequence[int] = (2, 4, 8),
+    band: Tuple[float, float] = (18.0, 22.0),
+    n_trials: int = 64,
+    error_model: Optional[SyncErrorModel] = None,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> dict:
+    """Monte Carlo grid over system sizes of the fast-path SINR physics.
+
+    The canned "fastsim grid" workload: per system size N, ``n_trials``
+    independent topologies are drawn and the post-ZF SINR summarized.
+    Returns ``{n: {"mean_sinr_db", "min_sinr_db", "max_sinr_db"}}``
+    aggregated over trials, deterministically for any ``workers`` count.
+    """
+    from repro.runtime import CellSpec, run_sweep
+
+    error_model = error_model or SyncErrorModel()
+    cells = [
+        CellSpec(
+            key=int(n),
+            params={"n": int(n), "band": tuple(band), "error_model": error_model},
+            n_trials=n_trials,
+        )
+        for n in sizes
+    ]
+    sweep = run_sweep(
+        "fastsim.sinr_grid", sinr_grid_kernel, cells, master_seed=int(seed),
+        workers=workers, checkpoint=checkpoint, resume=resume,
+    )
+    out = {}
+    for n in sizes:
+        trials = sweep.cell_results(int(n))
+        out[int(n)] = {
+            "mean_sinr_db": float(np.mean([t["mean_sinr_db"] for t in trials])),
+            "min_sinr_db": float(np.min([t["min_sinr_db"] for t in trials])),
+            "max_sinr_db": float(np.max([t["max_sinr_db"] for t in trials])),
+        }
+    return out

@@ -13,8 +13,10 @@ import numpy as np
 def ensure_rng(rng=None) -> np.random.Generator:
     """Coerce ``rng`` into a ``numpy.random.Generator``.
 
-    Accepts ``None`` (new unseeded generator), an integer seed, or an
-    existing generator (returned unchanged so callers can share streams).
+    Accepts ``None`` (new unseeded generator), an integer seed, a
+    ``numpy.random.SeedSequence`` (as derived per sweep task by
+    :mod:`repro.runtime.seeding`), or an existing generator (returned
+    unchanged so callers can share streams).
     """
     if rng is None:
         return np.random.default_rng()
@@ -22,7 +24,11 @@ def ensure_rng(rng=None) -> np.random.Generator:
         return rng
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
-    raise TypeError(f"rng must be None, an int seed or a Generator, got {type(rng)!r}")
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        f"rng must be None, an int seed, a SeedSequence or a Generator, got {type(rng)!r}"
+    )
 
 
 def complex_normal(rng: np.random.Generator, shape, scale: float = 1.0) -> np.ndarray:

@@ -4,7 +4,16 @@ The most important claim exercised here is §9's loss decoupling: "if APs
 have stale channel information to a client, only the packet to that client
 is affected, and packets at other clients will still be received
 correctly."
+
+The sweep-runtime classes inject the other kind of failure — a kernel that
+raises, and a worker process that dies mid-chunk — and assert the engine's
+degrade-to-serial contract: the sweep still completes with results
+bit-identical to a clean serial run, and the recovery is visible in the
+``runtime.*`` obs counters.
 """
+
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -12,7 +21,9 @@ import pytest
 from repro import MegaMimoSystem, SystemConfig, get_mcs
 from repro.channel.models import RicianChannel
 from repro.mac.simulator import DownlinkSimulator, LinkLayerConfig
+from repro.obs import metrics
 from repro.phy.preamble import lts_grid
+from repro.runtime import WORKER_ENV_FLAG, CellSpec, run_sweep
 
 
 def make_system(seed, n=3, **overrides):
@@ -140,3 +151,72 @@ class TestSimulatorUnderStress:
             )
         ).run()
         assert trace.total_goodput_bps >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Sweep-runtime fault tolerance
+# ---------------------------------------------------------------------------
+
+
+def draw_kernel(params, seed):
+    """Well-behaved picklable kernel for the reference serial runs."""
+    rng = np.random.default_rng(seed)
+    return float(rng.standard_normal())
+
+
+def raising_in_worker_kernel(params, seed):
+    """Raises inside pool workers only; clean when retried in the parent."""
+    if os.environ.get(WORKER_ENV_FLAG):
+        raise RuntimeError("injected kernel failure")
+    return draw_kernel(params, seed)
+
+
+def worker_suicide_kernel(params, seed):
+    """SIGKILLs the hosting pool worker; clean when retried in the parent.
+
+    Killing -9 breaks the whole ProcessPoolExecutor (BrokenProcessPool on
+    every outstanding future), which is exactly the degradation path under
+    test.
+    """
+    if os.environ.get(WORKER_ENV_FLAG):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return draw_kernel(params, seed)
+
+
+CELLS = [CellSpec(key=n, params=None, n_trials=6) for n in range(3)]
+
+
+class TestSweepFaultTolerance:
+    def _reference(self):
+        return run_sweep("faulty", draw_kernel, CELLS, master_seed=5)
+
+    def test_raising_kernel_retried_serially(self):
+        retries = metrics.counter("runtime.serial_retries")
+        failures = metrics.counter("runtime.chunk_failures")
+        before = (retries.value, failures.value)
+        r = run_sweep("faulty", raising_in_worker_kernel, CELLS,
+                      master_seed=5, workers=2)
+        assert r.results == self._reference().results
+        assert r.chunk_failures > 0
+        assert retries.value == before[0] + r.chunk_failures
+        assert failures.value == before[1] + r.chunk_failures
+
+    def test_killed_worker_degrades_to_serial(self):
+        retries = metrics.counter("runtime.serial_retries")
+        before = retries.value
+        r = run_sweep("faulty", worker_suicide_kernel, CELLS,
+                      master_seed=5, workers=2)
+        assert r.results == self._reference().results
+        assert r.chunk_failures > 0
+        assert retries.value > before
+
+    def test_failures_leave_checkpoint_complete(self, tmp_path):
+        ck = tmp_path / "faulty.jsonl"
+        r = run_sweep("faulty", raising_in_worker_kernel, CELLS,
+                      master_seed=5, workers=2, checkpoint=str(ck))
+        resumed = run_sweep("faulty", raising_in_worker_kernel, CELLS,
+                            master_seed=5, workers=2, checkpoint=str(ck),
+                            resume=True)
+        assert resumed.resumed_chunks > 0
+        assert resumed.chunk_failures == 0  # nothing left to run
+        assert resumed.results == r.results

@@ -1,0 +1,93 @@
+"""Property-based tests of the sweep runtime's invariants.
+
+Three properties carry the engine's determinism guarantee:
+
+* seed derivation is injective over ``(sweep, cell, trial)`` — no two
+  tasks ever share an RNG stream;
+* chunking covers every trial exactly once, for any ``(n_trials,
+  chunk_size)``;
+* result assembly is invariant under permutation of chunk completion
+  order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import CellSpec, assemble_results, iter_chunks, spawn_key
+from repro.runtime.seeding import seed_sequence
+
+names = st.text(min_size=1, max_size=12)
+indices = st.integers(min_value=0, max_value=2**31)
+
+
+class TestSpawnKeyInjective:
+    @given(
+        a=st.tuples(names, indices, indices),
+        b=st.tuples(names, indices, indices),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_distinct_tasks_distinct_keys(self, a, b):
+        """spawn_key is uniquely decodable: equal keys imply equal tasks."""
+        if a != b:
+            assert spawn_key(*a) != spawn_key(*b)
+        else:
+            assert spawn_key(*a) == spawn_key(*b)
+
+    def test_name_boundary_cases(self):
+        """Length-prefixing defeats concatenation collisions like
+        ("ab", cell=1) vs ("a", ...) — plain utf-8 keys would alias."""
+        assert spawn_key("ab", 1, 0) != spawn_key("a", ord("b"), 0)
+        with pytest.raises(ValueError):
+            spawn_key("", 0, 0)
+        with pytest.raises(ValueError):
+            spawn_key("x", -1, 0)
+
+    @given(name=names, cell=indices, trial=indices, seed=st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_streams_differ_from_master(self, name, cell, trial, seed):
+        """A derived stream never collides with the master seed's own."""
+        derived = np.random.default_rng(seed_sequence(seed, name, cell, trial))
+        master = np.random.default_rng(seed)
+        assert derived.integers(2**63) != master.integers(2**63)
+
+
+class TestChunkCoverage:
+    @given(n_trials=st.integers(0, 500), chunk_size=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_every_trial_exactly_once(self, n_trials, chunk_size):
+        seen = []
+        last_chunk = -1
+        for chunk_index, start, stop in iter_chunks(n_trials, chunk_size):
+            assert chunk_index == last_chunk + 1
+            assert 0 < stop - start <= chunk_size
+            seen.extend(range(start, stop))
+            last_chunk = chunk_index
+        assert seen == list(range(n_trials))
+
+
+class TestAssemblyPermutationInvariant:
+    @given(
+        n_trials=st.lists(st.integers(1, 20), min_size=1, max_size=4),
+        chunk_size=st.integers(1, 7),
+        order_seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_completion_order_invisible(self, n_trials, chunk_size, order_seed):
+        cells = [
+            CellSpec(key=i, params=None, n_trials=n) for i, n in enumerate(n_trials)
+        ]
+        items = [
+            ((ci, chunk_index), [[t, t * 1000 + ci] for t in range(start, stop)])
+            for ci, cell in enumerate(cells)
+            for chunk_index, start, stop in iter_chunks(cell.n_trials, chunk_size)
+        ]
+        reference = assemble_results(cells, dict(items))
+
+        perm = np.random.default_rng(order_seed).permutation(len(items))
+        shuffled = dict(items[i] for i in perm)
+        assert assemble_results(cells, shuffled) == reference
+        assert reference == [
+            [t * 1000 + ci for t in range(cell.n_trials)]
+            for ci, cell in enumerate(cells)
+        ]
