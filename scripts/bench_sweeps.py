@@ -8,6 +8,12 @@ and appends a machine-readable record to ``BENCH_sweeps.json``:
 
     {"schema": 1, "runs": [{"ts": ..., "cpu_count": ..., "workloads": [...]}]}
 
+Each run also lands in the run ledger (``runs/ledger.jsonl``; see
+``docs/observability.md``) as a ``command="bench"`` record whose headline
+metrics are ``bench.<workload>.{serial_s,parallel_s,speedup}`` — which is
+what ``python -m repro obs bench trend`` tabulates.  ``--no-ledger``
+skips that.
+
     python scripts/bench_sweeps.py                    # full workloads
     python scripts/bench_sweeps.py --quick --workers 4
     python scripts/bench_sweeps.py --quick --check-speedup --min-speedup 1.5
@@ -140,6 +146,56 @@ def bench_workload(name: str, quick: bool, workers: int) -> dict:
     }
 
 
+def ledger_metrics(record: dict) -> dict:
+    """Flatten a bench record's workloads into ledger headline metrics."""
+    out = {}
+    for entry in record["workloads"]:
+        name = entry["workload"]
+        out[f"bench.{name}.serial_s"] = entry["serial_s"]
+        out[f"bench.{name}.parallel_s"] = entry["parallel_s"]
+        if entry["speedup"] is not None:
+            out[f"bench.{name}.speedup"] = entry["speedup"]
+    return out
+
+
+def append_ledger_record(args, record: dict, started: float,
+                         duration_s: float) -> None:
+    """Best-effort append of this bench run to the run ledger."""
+    from repro.obs import ledger as L
+    from repro.obs import provenance
+
+    config = {
+        "workers": args.workers,
+        "quick": args.quick,
+        "workloads": list(args.workloads),
+    }
+    prov = provenance.collect(config)
+    run = L.RunRecord(
+        run_id=L.new_run_id(started),
+        ts=started,
+        command="bench",
+        argv=sys.argv[1:],
+        duration_s=duration_s,
+        git_sha=prov["git_sha"],
+        git_dirty=prov["git_dirty"],
+        config_hash=prov["config_hash"],
+        config=config,
+        platform={
+            k: prov[k]
+            for k in ("platform", "python", "numpy", "cpu_count", "hostname")
+        },
+        metrics=ledger_metrics(record),
+        artifacts={"bench": str(args.output)},
+    )
+    try:
+        path = L.Ledger(args.ledger).append(run)
+    except OSError as exc:
+        print(f"warning: could not append ledger record: {exc}",
+              file=sys.stderr)
+        return
+    print(f"run {run.run_id} appended to {path}")
+
+
 def append_record(output: Path, record: dict) -> None:
     doc = {"schema": 1, "runs": []}
     if output.exists():
@@ -168,9 +224,16 @@ def main(argv=None) -> int:
                         help="fail if the fig9 speedup is below --min-speedup "
                              "(skipped on single-core machines)")
     parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--ledger", metavar="DIR", default=None,
+                        help="runs directory for the ledger record "
+                             "(default: $REPRO_RUNS_DIR or ./runs)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append this run to the run ledger")
     args = parser.parse_args(argv)
     setup_logging(verbosity=0)
 
+    started = time.time()
+    t0 = time.perf_counter()
     cpu_count = _usable_cpus()
     record = {
         "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -191,6 +254,9 @@ def main(argv=None) -> int:
 
     append_record(args.output, record)
     print(f"appended run record to {args.output}")
+    if not args.no_ledger:
+        append_ledger_record(args, record, started,
+                             time.perf_counter() - t0)
 
     if args.check_speedup:
         fig9 = next((w for w in record["workloads"] if w["workload"] == "fig9"),

@@ -6,6 +6,8 @@
     python -m repro quickstart
     python -m repro report
     python -m repro obs summarize out.jsonl
+    python -m repro obs runs list
+    python -m repro obs regress --baseline tests/data/regress_baseline.json
 
 Every command prints the same tables the benchmark suite reports, so the
 CLI is the quickest way to poke at one experiment with custom parameters.
@@ -15,17 +17,52 @@ through :mod:`repro.obs.logging` (``-v`` for progress, ``-vv`` for debug,
 ``-q`` for errors only).  Every run command also accepts ``--trace
 out.jsonl`` (span/event telemetry, see ``docs/observability.md``) and
 ``--metrics out.json`` (the metrics-registry snapshot).
+
+Run commands (``figure``/``ablation``/``simulate``/``quickstart``/
+``report``) additionally append a :class:`repro.obs.ledger.RunRecord` —
+git sha, config hash, master seed, duration, headline metrics, alarms —
+to the run ledger (``runs/ledger.jsonl`` by default; ``--ledger DIR`` or
+``$REPRO_RUNS_DIR`` to relocate, ``--no-ledger`` to skip).  ``repro obs
+runs list/show/diff``, ``repro obs export`` and ``repro obs regress``
+query, render and gate on that history.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.obs import get_logger, metrics, setup_logging, trace
 
 logger = get_logger(__name__)
+
+#: Commands whose invocations land in the run ledger.
+RUN_COMMANDS = ("figure", "ablation", "simulate", "quickstart", "report")
+
+#: Default baseline path of ``repro obs regress`` (the committed one).
+DEFAULT_BASELINE = "tests/data/regress_baseline.json"
+
+
+@dataclass
+class RunContext:
+    """What a run command hands back for its ledger record.
+
+    The ``_run_*`` handlers fill this in as a side channel — exit codes
+    stay the CLI contract, the context carries everything the ledger
+    wants (normalized config, effective master seed, headline metrics,
+    artifact paths, alarms).
+    """
+
+    config: Dict = field(default_factory=dict)
+    master_seed: Optional[int] = None
+    headline: Dict[str, float] = field(default_factory=dict)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+    alarms: List[dict] = field(default_factory=list)
 
 
 def _common_options() -> argparse.ArgumentParser:
@@ -39,6 +76,15 @@ def _common_options() -> argparse.ArgumentParser:
     group.add_argument(
         "--metrics", metavar="FILE", default=None,
         help="write the metrics-registry snapshot (JSON) to FILE",
+    )
+    group.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="runs directory holding ledger.jsonl "
+             "(default: $REPRO_RUNS_DIR or ./runs)",
+    )
+    group.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run to the ledger",
     )
     group.add_argument(
         "-v", "--verbose", action="count", default=0,
@@ -118,6 +164,7 @@ def _add_obs_parser(subparsers, common) -> None:
         "obs", parents=[common], help="inspect observability outputs"
     )
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
     s = obs_sub.add_parser(
         "summarize", parents=[common],
         help="aggregate a JSONL trace into a hot-span table",
@@ -127,6 +174,65 @@ def _add_obs_parser(subparsers, common) -> None:
                    help="show only the K hottest spans")
     s.add_argument("--sort", choices=("self", "total", "mean", "count"),
                    default="self", help="ranking key (default: self time)")
+    s.add_argument("--name", metavar="GLOB", default=None,
+                   help="only spans/events matching this glob (e.g. 'phy.*')")
+
+    runs = obs_sub.add_parser(
+        "runs", parents=[common], help="query the run ledger"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    rl = runs_sub.add_parser("list", parents=[common],
+                             help="tabulate recent ledger records")
+    rl.add_argument("--command", dest="filter_command", default=None,
+                    metavar="CMD", help="only runs of this command")
+    rl.add_argument("-n", "--limit", type=int, default=20,
+                    help="show the last N runs (default 20)")
+    rs = runs_sub.add_parser("show", parents=[common],
+                             help="print one record as JSON")
+    rs.add_argument("run_id", help="run id, unambiguous prefix, or 'latest'")
+    rd = runs_sub.add_parser("diff", parents=[common],
+                             help="compare two runs (identity + metrics)")
+    rd.add_argument("old", help="run id, prefix, or 'latest'")
+    rd.add_argument("new", nargs="?", default="latest",
+                    help="run id, prefix, or 'latest' (default)")
+
+    e = obs_sub.add_parser(
+        "export", parents=[common],
+        help="render metrics as OpenMetrics text or tidy CSV",
+    )
+    e.add_argument("format", choices=("openmetrics", "csv"))
+    e.add_argument("--input", metavar="FILE", default=None,
+                   help="metrics snapshot JSON (a --metrics output); "
+                        "default: the run ledger")
+    e.add_argument("--command", dest="filter_command", default=None,
+                   metavar="CMD", help="only ledger runs of this command")
+    e.add_argument("-o", "--out", metavar="FILE", default=None,
+                   help="write to FILE instead of stdout")
+
+    g = obs_sub.add_parser(
+        "regress", parents=[common],
+        help="compare headline metrics against a committed baseline",
+    )
+    g.add_argument("--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+                   help=f"baseline JSON (default {DEFAULT_BASELINE})")
+    g.add_argument("--current", metavar="FILE", default=None,
+                   help="flat {metric: value} JSON instead of running probes")
+    g.add_argument("--run", metavar="ID", default=None,
+                   help="check a ledger record's headline metrics "
+                        "(id, prefix, or 'latest')")
+    g.add_argument("--update-baseline", action="store_true",
+                   help="write the current metrics to --baseline and exit")
+
+    b = obs_sub.add_parser(
+        "bench", parents=[common], help="benchmark-history queries"
+    )
+    bench_sub = b.add_subparsers(dest="bench_command", required=True)
+    bt = bench_sub.add_parser("trend", parents=[common],
+                              help="per-metric drift across bench ledger runs")
+    bt.add_argument("--metric", metavar="GLOB", default=None,
+                    help="only metrics matching this glob")
+    bt.add_argument("-n", "--limit", type=int, default=20,
+                    help="consider the last N bench runs (default 20)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,49 +276,59 @@ def _runtime_kwargs(args, supported: bool, what: str) -> dict:
     }
 
 
-def _run_figure(args) -> int:
+#: Per-figure default RNG seeds (kept stable across releases so ledger
+#: records with the same config hash really are the same experiment).
+_FIGURE_SEEDS = {6: 1, 7: 2, 8: 3, 9: 4, 10: 4, 11: 5, 12: 6, 13: 6}
+
+
+def _run_figure(args, ctx: RunContext) -> int:
     from repro.sim import experiments as E
 
     scale = max(args.scale, 0.1)
     n = args.number
-    seed = args.seed
+    seed = args.seed if args.seed is not None else _FIGURE_SEEDS[n]
     rt = _runtime_kwargs(args, supported=n in (6, 8, 9, 10, 11), what=f"figure {n}")
     logger.info("running figure %d at scale %.2f", n, scale)
 
-    def kw(default_seed, **extra):
-        out = dict(extra)
-        out["seed"] = seed if seed is not None else default_seed
-        return out
-
     if n == 6:
-        result = E.run_fig6(**kw(1, n_channels=max(int(100 * scale), 10)), **rt)
+        result = E.run_fig6(seed=seed, n_channels=max(int(100 * scale), 10), **rt)
     elif n == 7:
         result = E.run_fig7(
-            **kw(2, n_systems=max(int(8 * scale), 2), n_rounds=max(int(25 * scale), 5))
+            seed=seed, n_systems=max(int(8 * scale), 2),
+            n_rounds=max(int(25 * scale), 5),
         )
     elif n == 8:
-        result = E.run_fig8(**kw(3, n_topologies=max(int(10 * scale), 2)), **rt)
+        result = E.run_fig8(seed=seed, n_topologies=max(int(10 * scale), 2), **rt)
     elif n == 9:
-        result = E.run_fig9(**kw(4, n_topologies=max(int(10 * scale), 2)), **rt)
+        result = E.run_fig9(seed=seed, n_topologies=max(int(10 * scale), 2), **rt)
     elif n == 10:
-        result = E.run_fig10(n_topologies=max(int(10 * scale), 2),
-                             **kw(4), **rt)
+        result = E.run_fig10(seed=seed, n_topologies=max(int(10 * scale), 2), **rt)
     elif n == 11:
-        result = E.run_fig11(**kw(5, n_draws=max(int(20 * scale), 4)), **rt)
+        result = E.run_fig11(seed=seed, n_draws=max(int(20 * scale), 4), **rt)
     elif n == 12:
-        result = E.run_fig12(**kw(6, n_topologies=max(int(20 * scale), 4)))
+        result = E.run_fig12(seed=seed, n_topologies=max(int(20 * scale), 4))
     else:
-        result = E.run_fig13(n_topologies=max(int(20 * scale), 4), **kw(6))
+        result = E.run_fig13(seed=seed, n_topologies=max(int(20 * scale), 4))
+    ctx.config = {"figure": n, "scale": scale, "seed": seed, **rt}
+    ctx.master_seed = seed
+    if hasattr(result, "headline"):
+        ctx.headline = result.headline()
     print(f"=== Figure {n} ===")
     print(result.format_table())
     return 0
 
 
-def _run_ablation(args) -> int:
+_ABLATION_SEEDS = {
+    "sync": 7, "tracking": 8, "sounding": 9, "cfo": 10,
+    "overhead": 11, "screening": 14,
+}
+
+
+def _run_ablation(args, ctx: RunContext) -> int:
     from repro.sim import ablations as A
     from repro.sim.overhead import run_overhead_experiment
 
-    seed = args.seed
+    seed = args.seed if args.seed is not None else _ABLATION_SEEDS[args.name]
     rt = _runtime_kwargs(
         args, supported=args.name in ("sync", "screening"),
         what=f"ablation {args.name!r}",
@@ -224,33 +340,26 @@ def _run_ablation(args) -> int:
         rt.pop("resume", None)
     logger.info("running ablation %r", args.name)
     runners = {
-        "sync": lambda: A.run_sync_strategy_ablation(
-            seed=seed if seed is not None else 7, **rt
-        ),
-        "tracking": lambda: A.run_tracking_ablation(
-            seed=seed if seed is not None else 8
-        ),
-        "sounding": lambda: A.run_sounding_ablation(
-            seed=seed if seed is not None else 9
-        ),
-        "cfo": lambda: A.run_cfo_averaging_ablation(
-            seed=seed if seed is not None else 10
-        ),
-        "overhead": lambda: run_overhead_experiment(
-            seed=seed if seed is not None else 11
-        ),
-        "screening": lambda: A.run_screening_ablation(
-            seed=seed if seed is not None else 14, **rt
-        ),
+        "sync": lambda: A.run_sync_strategy_ablation(seed=seed, **rt),
+        "tracking": lambda: A.run_tracking_ablation(seed=seed),
+        "sounding": lambda: A.run_sounding_ablation(seed=seed),
+        "cfo": lambda: A.run_cfo_averaging_ablation(seed=seed),
+        "overhead": lambda: run_overhead_experiment(seed=seed),
+        "screening": lambda: A.run_screening_ablation(seed=seed, **rt),
     }
     result = runners[args.name]()
+    ctx.config = {"ablation": args.name, "seed": seed, **rt}
+    ctx.master_seed = seed
+    if hasattr(result, "headline"):
+        ctx.headline = result.headline()
     print(f"=== Ablation: {args.name} ===")
     print(result.format_table())
     return 0
 
 
-def _run_simulate(args) -> int:
+def _run_simulate(args, ctx: RunContext) -> int:
     from repro.mac.simulator import DownlinkSimulator, LinkLayerConfig
+    from repro.obs.regress import sync_health_alarms
 
     config = LinkLayerConfig(
         n_aps=args.n_aps,
@@ -266,11 +375,24 @@ def _run_simulate(args) -> int:
         config.n_aps, config.n_clients, config.duration_s * 1e3,
     )
     sim_trace = DownlinkSimulator(config).run()
+    ctx.config = {
+        "n_aps": config.n_aps,
+        "n_clients": config.n_clients,
+        "duration_s": config.duration_s,
+        "arrival_rate_pps": config.arrival_rate_pps,
+        "resound_interval_s": config.resound_interval_s,
+        "coherence_time_s": config.coherence_time_s,
+        "seed": config.seed,
+    }
+    ctx.master_seed = config.seed
+    ctx.headline = sim_trace.headline()
+    # sync-health monitor: per-slave phase-error p95 vs. the paper's budget
+    ctx.alarms = sync_health_alarms()
     print(sim_trace.format_summary())
     return 0
 
 
-def _run_quickstart() -> int:
+def _run_quickstart(ctx: RunContext) -> int:
     from repro import MegaMimoSystem, SystemConfig, get_mcs
     from repro.channel.models import RicianChannel
 
@@ -289,7 +411,16 @@ def _run_quickstart() -> int:
             f"client{i}: {status}, SNR {r.effective_snr_db:.1f} dB, "
             f"payload={r.decoded.payload!r}"
         )
-    return 0 if all(r.decoded.crc_ok for r in report.receptions) else 1
+    ctx.config = {"n_aps": 2, "n_clients": 2, "seed": 7}
+    ctx.master_seed = 7
+    ok = [r.decoded.crc_ok for r in report.receptions]
+    ctx.headline = {
+        "quickstart.crc_ok_frac": sum(ok) / len(ok),
+        "quickstart.min_snr_db": min(
+            float(r.effective_snr_db) for r in report.receptions
+        ),
+    }
+    return 0 if all(ok) else 1
 
 
 def _run_report() -> int:
@@ -299,37 +430,197 @@ def _run_report() -> int:
     return 0
 
 
-def _run_obs(args) -> int:
-    from repro.obs.summary import format_table, summarize
+# ---------------------------------------------------------------------------
+# obs subcommands
+# ---------------------------------------------------------------------------
 
-    try:
-        summary = summarize(args.trace_file)
-    except OSError as exc:
-        logger.error("cannot read trace: %s", exc)
+
+def _resolve_run(ledger, token: str):
+    """A ledger record from an id, unambiguous prefix, or ``latest``."""
+    record = ledger.latest() if token == "latest" else ledger.get(token)
+    if record is None:
+        logger.error("no run %r in %s", token, ledger.path)
+    return record
+
+
+def _run_obs_runs(args) -> int:
+    from repro.obs.ledger import (
+        Ledger, diff_records, format_diff, format_list, format_show,
+    )
+
+    ledger = Ledger(args.ledger)
+    if args.runs_command == "list":
+        print(format_list(ledger.last(args.limit, command=args.filter_command)))
+        return 0
+    if args.runs_command == "show":
+        record = _resolve_run(ledger, args.run_id)
+        if record is None:
+            return 1
+        print(format_show(record))
+        return 0
+    # diff
+    old = _resolve_run(ledger, args.old)
+    new = _resolve_run(ledger, args.new)
+    if old is None or new is None:
         return 1
-    except ValueError as exc:
-        logger.error("malformed trace %s: %s", args.trace_file, exc)
-        return 1
-    print(format_table(summary, top_k=args.top, sort=args.sort))
+    print(format_diff(diff_records(old, new)))
     return 0
 
 
-def _dispatch(args) -> int:
+def _run_obs_export(args) -> int:
+    from repro.obs import export as X
+    from repro.obs.ledger import Ledger
+
+    if args.input:
+        try:
+            with open(args.input) as f:
+                snapshot = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.error("cannot read metrics snapshot %s: %s", args.input, exc)
+            return 1
+        text = (
+            X.metrics_to_openmetrics(snapshot)
+            if args.format == "openmetrics"
+            else X.metrics_to_csv(snapshot)
+        )
+    else:
+        ledger = Ledger(args.ledger)
+        records = list(ledger.records(command=args.filter_command))
+        if not records:
+            logger.error("ledger %s has no matching runs", ledger.path)
+            return 1
+        if args.format == "csv":
+            text = X.ledger_to_csv(records)
+        else:
+            # OpenMetrics is a point-in-time format: expose the latest
+            # run's headline metrics as gauges.
+            latest = records[-1]
+            snapshot = {
+                name: {"type": "gauge", "value": value}
+                for name, value in latest.metrics.items()
+            }
+            snapshot["run_duration_s"] = {
+                "type": "gauge", "value": latest.duration_s,
+            }
+            text = X.metrics_to_openmetrics(snapshot)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        logger.info("wrote %s export to %s", args.format, args.out)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _run_obs_regress(args) -> int:
+    from repro.obs import regress as R
+    from repro.obs.ledger import Ledger
+
+    require_all = True
+    if args.current:
+        try:
+            with open(args.current) as f:
+                current = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.error("cannot read current metrics %s: %s", args.current, exc)
+            return R.EXIT_NO_BASELINE
+    elif args.run:
+        record = _resolve_run(Ledger(args.ledger), args.run)
+        if record is None:
+            return R.EXIT_NO_BASELINE
+        current = record.metrics
+        # a ledger record only carries its own command's headline metrics
+        require_all = False
+    else:
+        logger.info("running regression probe suite")
+        current = R.run_probes()
+
+    if args.update_baseline:
+        R.write_baseline(args.baseline, current)
+        print(f"baseline written to {args.baseline} ({len(current)} metrics)")
+        return R.EXIT_OK
+
+    baseline = R.load_baseline(args.baseline)
+    if baseline is None:
+        print(
+            f"no usable baseline at {args.baseline} "
+            f"(create one with --update-baseline)"
+        )
+        return R.EXIT_NO_BASELINE
+    report = R.compare(current, baseline, require_all=require_all)
+    print(report.format_table())
+    return R.EXIT_OK if report.passed else R.EXIT_BREACH
+
+
+def _run_obs_bench_trend(args) -> int:
+    from fnmatch import fnmatchcase
+
+    from repro.obs.ledger import Ledger
+
+    ledger = Ledger(args.ledger)
+    records = list(ledger.records(command="bench"))[-args.limit:]
+    if not records:
+        logger.error("no bench runs in %s (run scripts/bench_sweeps.py)",
+                     ledger.path)
+        return 1
+    names = sorted({name for r in records for name in r.metrics})
+    if args.metric:
+        names = [n for n in names if fnmatchcase(n, args.metric)]
+    print(f"{len(records)} bench runs, {records[0].run_id} .. "
+          f"{records[-1].run_id}")
+    print(f"{'metric':<36} {'n':>3} {'first':>10} {'last':>10} "
+          f"{'delta':>10} {'rel':>8}")
+    for name in names:
+        series = [r.metrics[name] for r in records if name in r.metrics]
+        first, last = series[0], series[-1]
+        rel = f"{(last - first) / abs(first):+.1%}" if first else "-"
+        print(f"{name:<36} {len(series):>3d} {first:>10.4g} {last:>10.4g} "
+              f"{last - first:>+10.4g} {rel:>8}")
+    return 0
+
+
+def _run_obs(args) -> int:
+    if args.obs_command == "summarize":
+        from repro.obs.summary import format_table, summarize
+
+        try:
+            summary = summarize(args.trace_file)
+        except OSError as exc:
+            logger.error("cannot read trace: %s", exc)
+            return 1
+        except ValueError as exc:
+            logger.error("malformed trace %s: %s", args.trace_file, exc)
+            return 1
+        print(format_table(summary, top_k=args.top, sort=args.sort,
+                           name=args.name))
+        return 0
+    if args.obs_command == "runs":
+        return _run_obs_runs(args)
+    if args.obs_command == "export":
+        return _run_obs_export(args)
+    if args.obs_command == "regress":
+        return _run_obs_regress(args)
+    if args.obs_command == "bench":
+        return _run_obs_bench_trend(args)
+    return 2  # unreachable: argparse enforces the choices
+
+
+def _dispatch(args, ctx: RunContext) -> int:
     from repro.runtime import CheckpointMismatch
 
     try:
         if args.command == "figure":
-            return _run_figure(args)
+            return _run_figure(args, ctx)
         if args.command == "ablation":
-            return _run_ablation(args)
+            return _run_ablation(args, ctx)
     except CheckpointMismatch as exc:
         logger.error("%s", exc)
         logger.error("delete the file or rerun without --resume to start fresh")
         return 1
     if args.command == "simulate":
-        return _run_simulate(args)
+        return _run_simulate(args, ctx)
     if args.command == "quickstart":
-        return _run_quickstart()
+        return _run_quickstart(ctx)
     if args.command == "report":
         return _run_report()
     if args.command == "obs":
@@ -337,19 +628,81 @@ def _dispatch(args) -> int:
     return 2  # unreachable: argparse enforces the choices
 
 
+def _record_run(
+    args, ctx: RunContext, argv: List[str], started: float,
+    duration_s: float, status: str,
+) -> None:
+    """Append this invocation to the run ledger (best-effort, never raises)."""
+    if args.command not in RUN_COMMANDS or args.no_ledger:
+        return
+    from repro.obs import ledger as L
+    from repro.obs import provenance
+
+    for kind in ("trace", "metrics", "checkpoint"):
+        path = getattr(args, kind, None)
+        if path:
+            ctx.artifacts.setdefault(kind, path)
+    prov = provenance.collect(ctx.config)
+    record = L.RunRecord(
+        run_id=L.new_run_id(started),
+        ts=started,
+        command=args.command,
+        argv=list(argv),
+        status=status,
+        duration_s=duration_s,
+        git_sha=prov["git_sha"],
+        git_dirty=prov["git_dirty"],
+        config_hash=prov["config_hash"],
+        config=ctx.config,
+        master_seed=ctx.master_seed,
+        platform={
+            k: prov[k]
+            for k in ("platform", "python", "numpy", "cpu_count", "hostname")
+        },
+        metrics=ctx.headline,
+        artifacts=ctx.artifacts,
+        alarms=ctx.alarms,
+    )
+    try:
+        path = L.Ledger(args.ledger).append(record)
+    except OSError as exc:
+        logger.warning("could not append run record: %s", exc)
+        return
+    logger.info("run %s appended to %s", record.run_id, path)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # The stdout reader went away mid-print (e.g. `repro obs runs show
+        # | head`).  Point the dangling fd at devnull so interpreter
+        # shutdown doesn't raise again while flushing, and exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]]) -> int:
+    argv_list = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(argv_list)
     setup_logging(verbosity=args.verbose - args.quiet)
     if args.trace:
         try:
-            trace.configure(args.trace, command=args.command, argv=argv or sys.argv[1:])
+            trace.configure(args.trace, command=args.command, argv=argv_list)
         except OSError as exc:
             logger.error("cannot open trace file: %s", exc)
             return 1
         logger.info("tracing to %s", args.trace)
+    ctx = RunContext()
+    started = time.time()
+    t0 = time.perf_counter()
+    status = "error"
     try:
-        return _dispatch(args)
+        code = _dispatch(args, ctx)
+        status = "ok" if code == 0 else "error"
+        return code
     finally:
         if args.trace:
             trace.close()
@@ -357,6 +710,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.metrics:
             metrics.write_json(args.metrics)
             logger.info("metrics written to %s", args.metrics)
+        _record_run(args, ctx, argv_list, started,
+                    time.perf_counter() - t0, status)
 
 
 if __name__ == "__main__":

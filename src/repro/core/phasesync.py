@@ -36,6 +36,16 @@ from repro.phy.channel_est import (
 from repro.phy.preamble import SYNC_HEADER_LTS_REPEATS, lts_symbol_offsets
 from repro.utils.validation import require
 
+#: Phase-error budget of the distributed sync, in radians (paper §7.3/§11).
+#: Fig. 7 measures the deployed protocol's misalignment at a ~0.018-rad
+#: median scale; Fig. 6 shows misalignment up to ~0.05 rad costs under
+#: ~1 dB of SNR at 20 dB.  The sync-health monitor
+#: (:func:`repro.obs.regress.sync_health_alarms`) raises a ledger alarm
+#: when a run's per-slave phase-error p95 exceeds the p95 budget —
+#: beyond it, rate selection starts paying real throughput for sync error.
+PHASE_ERROR_BUDGET_MEDIAN_RAD = 0.018
+PHASE_ERROR_BUDGET_P95_RAD = 0.05
+
 
 @dataclass
 class ReferenceChannel:

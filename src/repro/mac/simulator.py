@@ -162,6 +162,20 @@ class SimulationTrace:
         attempts = self.n_transmissions
         return self.n_failures / attempts if attempts else 0.0
 
+    def headline(self) -> Dict[str, float]:
+        """Ledger/regression headline metrics of this run."""
+        out = {
+            "sim.goodput_mbps": self.total_goodput_bps / 1e6,
+            "sim.loss_rate": float(self.loss_rate),
+            "sim.n_soundings": float(self.n_soundings),
+            "sim.data_airtime_frac": float(
+                self.airtime.get("data", 0.0) / max(self.config.duration_s, 1e-12)
+            ),
+        }
+        if self.delivered:
+            out["sim.mean_latency_ms"] = self.mean_latency_s * 1e3
+        return out
+
     def format_summary(self) -> str:
         lines = [
             f"simulated {self.config.duration_s * 1e3:.0f} ms, "

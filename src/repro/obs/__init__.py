@@ -13,6 +13,14 @@ debugging example):
 * **Logging** (:mod:`repro.obs.logging`): one stderr handler for the
   ``repro`` logger hierarchy, keeping stdout clean for result tables.
 
+Built on those, the v2 layer adds a **run ledger**
+(:mod:`repro.obs.ledger` + :mod:`repro.obs.provenance`: append-only JSONL
+history of every run with git sha, config hash, seed and headline metrics),
+**live sweep progress** (:mod:`repro.obs.progress`), **metric export**
+(:mod:`repro.obs.export`: OpenMetrics text and tidy CSV) and **regression
+detection** (:mod:`repro.obs.regress`: headline-metric probes compared
+against a committed baseline, plus the phase-sync health monitor).
+
 Typical CLI wiring::
 
     from repro.obs import metrics, trace, setup_logging
@@ -26,23 +34,30 @@ Typical CLI wiring::
 
 from repro.obs import metrics
 from repro.obs.events import SCHEMA_VERSION, iter_events, read_events
+from repro.obs.ledger import Ledger, RunRecord, default_runs_dir, new_run_id
 from repro.obs.logging import get_logger, setup_logging
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.progress import SweepProgress
 from repro.obs.summary import TraceSummary, format_table, summarize
 from repro.obs.tracer import NULL_SPAN, Span, Tracer, trace, traced
 
 __all__ = [
     "SCHEMA_VERSION",
+    "Ledger",
     "MetricsRegistry",
     "NULL_SPAN",
+    "RunRecord",
     "Span",
+    "SweepProgress",
     "TraceSummary",
     "Tracer",
+    "default_runs_dir",
     "format_table",
     "get_logger",
     "get_registry",
     "iter_events",
     "metrics",
+    "new_run_id",
     "read_events",
     "setup_logging",
     "summarize",

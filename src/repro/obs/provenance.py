@@ -1,0 +1,110 @@
+"""Run provenance: who/what/where produced a result.
+
+Every ledger record (:mod:`repro.obs.ledger`) embeds a provenance block so
+a metrics file found six months from now can be tied back to the exact
+code, configuration and machine that produced it:
+
+* **git identity** — ``HEAD`` sha and a dirty flag, resolved by shelling
+  out to ``git`` (best-effort: ``None`` outside a checkout or without the
+  binary, never an exception);
+* **config hash** — a short SHA-256 over the canonical JSON of the run's
+  parameter dict, so "same configuration" is one string comparison even
+  when argv ordering or defaults differ;
+* **platform snapshot** — OS, Python, numpy, usable CPU count.
+
+Everything is stdlib-only and cheap enough to run on every CLI
+invocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+from typing import Optional
+
+from repro.obs.events import jsonable
+
+#: Length of the truncated config-hash hex digest kept in ledger records.
+CONFIG_HASH_LEN = 12
+
+_GIT_TIMEOUT_S = 3.0
+
+
+def _git(*args: str) -> Optional[str]:
+    """Run one git command; ``None`` on any failure (no repo, no binary)."""
+    try:
+        out = subprocess.run(
+            ("git", *args),
+            capture_output=True,
+            text=True,
+            timeout=_GIT_TIMEOUT_S,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def git_sha(short: bool = False) -> Optional[str]:
+    """The current checkout's HEAD commit, or ``None`` outside a repo."""
+    sha = _git("rev-parse", "--short" if short else "--verify", "HEAD")
+    return sha or None
+
+
+def git_dirty() -> Optional[bool]:
+    """Whether the working tree has uncommitted changes (``None`` = unknown)."""
+    status = _git("status", "--porcelain")
+    if status is None:
+        return None
+    return bool(status.strip())
+
+
+def config_hash(config: dict) -> str:
+    """Short, stable hash of a run-parameter dict.
+
+    The dict is normalized through :func:`repro.obs.events.jsonable` and
+    serialized with sorted keys, so logically equal configurations hash
+    identically regardless of key order or numpy scalar types.
+    """
+    blob = json.dumps(jsonable(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:CONFIG_HASH_LEN]
+
+
+def usable_cpus() -> int:
+    """CPUs this process may schedule on (affinity-aware on Linux)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def platform_snapshot() -> dict:
+    """Machine/environment facts worth keeping with every run record."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": usable_cpus(),
+        "hostname": platform.node(),
+    }
+
+
+def collect(config: Optional[dict] = None) -> dict:
+    """The full provenance block of one run (see module docstring)."""
+    return {
+        "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
+        "config_hash": config_hash(config or {}),
+        **platform_snapshot(),
+    }

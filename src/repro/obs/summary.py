@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.obs.events import iter_events
@@ -44,15 +45,27 @@ class TraceSummary:
     schema: Optional[int] = None
     total_wall_s: float = 0.0  # sum of root-span wall time
 
-    def top(self, k: Optional[int] = None, sort: str = "self") -> List[SpanStats]:
-        """Span stats ranked by ``self``/``total``/``mean``/``count``."""
+    def top(
+        self,
+        k: Optional[int] = None,
+        sort: str = "self",
+        name: Optional[str] = None,
+    ) -> List[SpanStats]:
+        """Span stats ranked by ``self``/``total``/``mean``/``count``.
+
+        ``name`` is a shell-style glob (``fnmatch``) restricting the table
+        to matching span names, e.g. ``--name 'phy.*'``.
+        """
         key = {
             "self": lambda s: s.total_self_s,
             "total": lambda s: s.total_wall_s,
             "mean": lambda s: s.mean_wall_s if s.count else 0.0,
             "count": lambda s: s.count,
         }[sort]
-        ranked = sorted(self.spans.values(), key=key, reverse=True)
+        spans = self.spans.values()
+        if name is not None:
+            spans = [s for s in spans if fnmatchcase(s.name, name)]
+        ranked = sorted(spans, key=key, reverse=True)
         return ranked[:k] if k is not None else ranked
 
 
@@ -98,24 +111,34 @@ def summarize(source: Union[str, Iterable[dict]]) -> TraceSummary:
 
 
 def format_table(
-    summary: TraceSummary, top_k: Optional[int] = None, sort: str = "self"
+    summary: TraceSummary,
+    top_k: Optional[int] = None,
+    sort: str = "self",
+    name: Optional[str] = None,
 ) -> str:
-    """Render the ranked span table (plus event counts) as text."""
+    """Render the ranked span table (plus event counts) as text.
+
+    ``name`` restricts both the span table and the event counts to names
+    matching the glob.
+    """
     lines = [
         f"{'span':<28} {'count':>7} {'total(ms)':>10} {'self(ms)':>10} "
         f"{'mean(ms)':>9} {'max(ms)':>9} {'cpu(ms)':>9} {'err':>4}"
     ]
-    for s in summary.top(top_k, sort=sort):
+    for s in summary.top(top_k, sort=sort, name=name):
         lines.append(
             f"{s.name:<28} {s.count:>7d} {s.total_wall_s * 1e3:>10.2f} "
             f"{s.total_self_s * 1e3:>10.2f} {s.mean_wall_s * 1e3:>9.3f} "
             f"{s.max_wall_s * 1e3:>9.3f} {s.total_cpu_s * 1e3:>9.2f} "
             f"{s.errors:>4d}"
         )
-    if summary.events:
+    events = summary.events
+    if name is not None:
+        events = {n: c for n, c in events.items() if fnmatchcase(n, name)}
+    if events:
         lines.append("")
         lines.append("events: " + ", ".join(
-            f"{name} x{count}" for name, count in sorted(summary.events.items())
+            f"{n} x{count}" for n, count in sorted(events.items())
         ))
     lines.append(
         f"{summary.n_records} records, root wall time "
@@ -135,13 +158,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="show only the K hottest spans")
     parser.add_argument("--sort", choices=("self", "total", "mean", "count"),
                         default="self", help="ranking key (default: self time)")
+    parser.add_argument("--name", metavar="GLOB", default=None,
+                        help="only spans/events matching this glob "
+                             "(e.g. 'phy.*')")
     args = parser.parse_args(argv)
     try:
         summary = summarize(args.trace_file)
     except OSError as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 1
-    print(format_table(summary, top_k=args.top, sort=args.sort))
+    print(format_table(summary, top_k=args.top, sort=args.sort, name=args.name))
     return 0
 
 

@@ -27,7 +27,11 @@ Execution model:
   ``runtime.serial_retries`` counters and a trace event);
 * ``workers=1`` never touches multiprocessing at all;
 * an optional JSONL checkpoint persists each completed chunk, and
-  ``resume=True`` skips chunks already on disk (header-validated).
+  ``resume=True`` skips chunks already on disk (header-validated);
+* every chunk completion feeds a :class:`repro.obs.progress.SweepProgress`
+  tracker, which renders a live stderr status line (done/total, trials/s,
+  ETA, retries) and mirrors it as ``runtime.progress`` trace events —
+  parent-process-only state that cannot affect results.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import get_logger, metrics, trace
 from repro.obs.events import jsonable
+from repro.obs.progress import SweepProgress
 from repro.runtime.checkpoint import open_checkpoint, sweep_header
 from repro.runtime.seeding import seed_sequence
 from repro.utils.validation import require
@@ -228,6 +233,14 @@ def run_sweep(
     ]
     pending = [t for t in tasks if (t[0], t[1]) not in completed]
     failures = 0
+    progress = SweepProgress(
+        name=name,
+        total_chunks=len(tasks),
+        total_trials=sum(cell.n_trials for cell in cells),
+        workers=workers,
+        resumed_chunks=resumed,
+        resumed_trials=sum(len(pairs) for pairs in completed.values()),
+    )
 
     def finish(task, results) -> None:
         cell_index, chunk_index = task[0], task[1]
@@ -235,6 +248,7 @@ def run_sweep(
         _CHUNKS_RUN.inc()
         if writer is not None:
             writer.append_chunk(cell_index, chunk_index, results)
+        progress.chunk_done(task[3] - task[2])
 
     with trace.span(
         "runtime.sweep", sweep=name, workers=workers, chunks=len(tasks),
@@ -250,11 +264,13 @@ def run_sweep(
                     ))
             else:
                 failures = _run_pool(
-                    name, kernel, cells, master_seed, workers, pending, finish
+                    name, kernel, cells, master_seed, workers, pending, finish,
+                    progress,
                 )
         finally:
             if writer is not None:
                 writer.close()
+            progress.close()
         span.record(chunk_failures=failures)
 
     results = assemble_results(cells, completed)
@@ -276,6 +292,7 @@ def _run_pool(
     workers: int,
     pending,
     finish,
+    progress: Optional[SweepProgress] = None,
 ) -> int:
     """Dispatch chunks to a process pool; retry failures serially in-parent.
 
@@ -301,6 +318,8 @@ def _run_pool(
             except Exception as exc:  # kernel error or broken pool
                 failures += 1
                 _CHUNK_FAILURES.inc()
+                if progress is not None:
+                    progress.chunk_failed()
                 logger.warning(
                     "chunk (cell=%d, chunk=%d) of sweep %r failed in the "
                     "pool (%s: %s); retrying serially",
@@ -315,5 +334,7 @@ def _run_pool(
                     cell_index, start, stop,
                 )
                 _SERIAL_RETRIES.inc()
+                if progress is not None:
+                    progress.retry_done()
             finish(task, results)
     return failures

@@ -90,6 +90,13 @@ class Fig6Result:
         idx = int(np.argmin(np.abs(self.misalignments_rad - misalignment_rad)))
         return float(self.reduction_db[snr_db][idx])
 
+    def headline(self) -> Dict[str, float]:
+        """Ledger/regression headline: SNR loss at the 0.1 rad operating point."""
+        return {
+            f"fig6.loss_0p10rad_{int(round(s))}db": self.reduction_at(s, 0.10)
+            for s in self.reduction_db
+        }
+
     def format_table(self) -> str:
         lines = ["misalignment(rad)  " + "  ".join(f"loss@{s:g}dB" for s in self.reduction_db)]
         for i, m in enumerate(self.misalignments_rad):
@@ -172,6 +179,10 @@ class Fig7Result:
 
     def cdf(self):
         return cdf_points(self.misalignments_rad)
+
+    def headline(self) -> Dict[str, float]:
+        """Ledger/regression headline: the paper's quoted sync statistics."""
+        return {"fig7.median_rad": self.median_rad, "fig7.p95_rad": self.p95_rad}
 
     def format_table(self) -> str:
         xs, fs = self.cdf()
@@ -274,6 +285,16 @@ class Fig8Result:
         """Least-squares INR growth per added AP-client pair."""
         y = self.inr_db[band]
         return float(np.polyfit(self.n_receivers, y, 1)[0])
+
+    def headline(self) -> Dict[str, float]:
+        """Ledger/regression headline: per-band INR slope + largest-N INR."""
+        out: Dict[str, float] = {}
+        for band in self.inr_db:
+            out[f"fig8.inr_slope_{band}"] = self.slope_db_per_pair(band)
+            out[f"fig8.inr_db_{band}_n{int(self.n_receivers[-1])}"] = float(
+                self.inr_db[band][-1]
+            )
+        return out
 
     def format_table(self) -> str:
         header = "n_receivers  " + "  ".join(f"{b:>8}" for b in self.inr_db)
@@ -438,6 +459,20 @@ class Fig9Result:
         cell = self.cells[(band, n)]
         return median_gain(cell.megamimo_bps, cell.baseline_bps)
 
+    def headline(self) -> Dict[str, float]:
+        """Ledger/regression headline: per-band median gain at the largest N."""
+        n_max = int(self.n_aps[-1])
+        out: Dict[str, float] = {}
+        for band in BAND_ORDER:
+            if (band, n_max) in self.cells:
+                out[f"fig9.median_gain_{band}_n{n_max}"] = self.median_gain(
+                    band, n_max
+                )
+                out[f"fig9.megamimo_mbps_{band}_n{n_max}"] = float(
+                    np.mean(self.cells[(band, n_max)].megamimo_bps) / 1e6
+                )
+        return out
+
     def format_table(self) -> str:
         lines = []
         for band in BAND_ORDER:
@@ -570,6 +605,17 @@ class Fig10Result:
     def cdf(self, band: str, n: int):
         return cdf_points(self.gains[(band, n)])
 
+    def headline(self) -> Dict[str, float]:
+        """Ledger/regression headline: fairness floor at the largest grid."""
+        if not self.gains:
+            return {}
+        band, n = max(self.gains, key=lambda key: key[1])
+        g = self.gains[(band, n)]
+        return {
+            f"fig10.p10_gain_{band}_n{n}": percentile(g, 10),
+            f"fig10.median_gain_{band}_n{n}": float(np.median(g)),
+        }
+
     def format_table(self) -> str:
         lines = []
         for (band, n), g in sorted(self.gains.items()):
@@ -614,6 +660,17 @@ class Fig11Result:
 
     snr_db: np.ndarray
     throughput_mbps: Dict[int, np.ndarray]
+
+    def headline(self) -> Dict[str, float]:
+        """Ledger/regression headline: top-SNR throughput, largest vs. baseline."""
+        n_max = max(self.throughput_mbps)
+        snr = int(round(float(self.snr_db[-1])))
+        out = {
+            f"fig11.mbps_n{n_max}_{snr}db": float(self.throughput_mbps[n_max][-1])
+        }
+        if 1 in self.throughput_mbps:
+            out[f"fig11.mbps_n1_{snr}db"] = float(self.throughput_mbps[1][-1])
+        return out
 
     def format_table(self) -> str:
         keys = sorted(self.throughput_mbps)
@@ -717,6 +774,10 @@ class Fig12Result:
 
     def mean_gain(self, band: str) -> float:
         return float(self.megamimo_mbps[band] / self.baseline_mbps[band])
+
+    def headline(self) -> Dict[str, float]:
+        """Ledger/regression headline: per-band 802.11n-compat mean gain."""
+        return {f"fig12.mean_gain_{band}": self.mean_gain(band) for band in self.bands}
 
     def format_table(self) -> str:
         lines = ["band    802.11n(Mbps)  MegaMIMO(Mbps)  gain"]
@@ -868,6 +929,10 @@ class Fig13Result:
     @property
     def median(self) -> float:
         return float(np.median(self.gains))
+
+    def headline(self) -> Dict[str, float]:
+        """Ledger/regression headline: the Fig. 13 median per-node gain."""
+        return {"fig13.median_gain": self.median}
 
     def cdf(self):
         return cdf_points(self.gains)

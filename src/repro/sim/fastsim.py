@@ -17,6 +17,7 @@ post-beamforming SINR for matched configurations.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -34,6 +35,13 @@ from repro.utils.validation import require
 
 #: Number of occupied OFDM subcarriers modelled per link.
 N_BINS = 52
+
+#: Environment variable multiplying every SyncErrorModel's phase sigma.
+#: A fault-injection knob for the regression harness: setting it to 2 in a
+#: `repro obs regress` CI run simulates a sync degradation and must trip
+#: the phase-error budget check (see docs/observability.md).  Unset or "1"
+#: leaves the calibrated model untouched.
+PHASE_SIGMA_SCALE_ENV = "REPRO_PHASE_SIGMA_SCALE"
 
 # module-level telemetry handles: these functions are the fast path of the
 # 20-topology figure sweeps, so the handles are resolved exactly once
@@ -63,6 +71,11 @@ class SyncErrorModel:
     phase_sigma_rad: float = 0.015
     estimation_snr_boost_db: float = 15.0
     lead_is_perfect: bool = True
+
+    def __post_init__(self):
+        scale = os.environ.get(PHASE_SIGMA_SCALE_ENV)
+        if scale is not None and scale.strip():
+            self.phase_sigma_rad = float(self.phase_sigma_rad) * float(scale)
 
     def phase_errors(
         self, n_tx: int, rng, device_of: Optional[Sequence[int]] = None

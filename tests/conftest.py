@@ -35,6 +35,27 @@ def _pin_unseeded_default_rng(request, monkeypatch):
     monkeypatch.setattr(np.random, "default_rng", pinned)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    CLI invocations append to ``$REPRO_RUNS_DIR/ledger.jsonl`` by default;
+    without this, tests would pollute the repo's ``runs/`` directory and
+    see each other's records.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
+@pytest.fixture(autouse=True)
+def _suppress_progress(monkeypatch):
+    """Silence the live sweep progress line in test output.
+
+    Individual tests that exercise the renderer re-enable it by setting
+    ``REPRO_PROGRESS=1`` or passing an explicit stream.
+    """
+    monkeypatch.setenv("REPRO_PROGRESS", "0")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)

@@ -1,0 +1,88 @@
+"""Metric export: OpenMetrics rendering and tidy CSV."""
+
+import csv
+import io
+
+from repro.obs.export import (
+    ledger_to_csv,
+    metrics_to_csv,
+    metrics_to_openmetrics,
+    openmetrics_name,
+)
+from repro.obs.ledger import RunRecord
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestOpenMetricsNames:
+    def test_dots_fold_to_underscores(self):
+        assert openmetrics_name("mac.phase_error_rad") == "mac_phase_error_rad"
+
+    def test_leading_digit_gets_prefix(self):
+        assert openmetrics_name("95th.pct") == "_95th_pct"
+
+
+class TestOpenMetricsText:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("runtime.chunks_run").inc(3)
+        reg.gauge("sim.goodput_mbps").set(36.0)
+        hist = reg.histogram("mac.phase_error_rad")
+        for v in (0.01, 0.02, 0.03, 0.04):
+            hist.observe(v)
+        return reg
+
+    def test_counter_gauge_histogram_rendering(self):
+        text = metrics_to_openmetrics(self._registry())
+        assert "# TYPE runtime_chunks_run counter" in text
+        assert "runtime_chunks_run_total 3" in text
+        assert "sim_goodput_mbps 36" in text
+        assert "# TYPE mac_phase_error_rad summary" in text
+        assert 'mac_phase_error_rad{quantile="0.95"}' in text
+        assert "mac_phase_error_rad_count 4" in text
+        assert text.endswith("# EOF\n")
+
+    def test_accepts_snapshot_dict(self):
+        # the same shape a --metrics JSON file contains
+        snapshot = self._registry().to_dict()
+        assert metrics_to_openmetrics(snapshot) == metrics_to_openmetrics(
+            self._registry()
+        )
+
+    def test_unset_gauge_is_skipped(self):
+        reg = MetricsRegistry()
+        reg.gauge("never.set")
+        text = metrics_to_openmetrics(reg)
+        assert "never_set" not in text
+
+
+class TestLedgerCsv:
+    def _records(self):
+        return [
+            RunRecord(
+                run_id="r1", ts=1.75e9, command="figure", duration_s=2.0,
+                git_sha="abc", config_hash="h1", master_seed=4,
+                metrics={"fig9.gain": 8.0, "fig9.mbps": 220.0},
+            ),
+            RunRecord(run_id="r2", ts=1.76e9, command="report", duration_s=9.0),
+        ]
+
+    def test_one_row_per_run_metric(self):
+        rows = list(csv.DictReader(io.StringIO(ledger_to_csv(self._records()))))
+        assert len(rows) == 3  # two metrics for r1 + duration fallback for r2
+        r1 = [r for r in rows if r["run_id"] == "r1"]
+        assert {r["metric"] for r in r1} == {"fig9.gain", "fig9.mbps"}
+        (r2,) = [r for r in rows if r["run_id"] == "r2"]
+        assert r2["metric"] == "duration_s"
+        assert float(r2["value"]) == 9.0
+        assert r2["master_seed"] == ""
+
+    def test_metrics_to_csv_tidy_rows(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h").observe(1.0)
+        rows = list(csv.DictReader(io.StringIO(metrics_to_csv(reg))))
+        counter_rows = [r for r in rows if r["metric"] == "c"]
+        assert counter_rows[0]["field"] == "value"
+        assert float(counter_rows[0]["value"]) == 2.0
+        hist_fields = {r["field"] for r in rows if r["metric"] == "h"}
+        assert "count" in hist_fields and "mean" in hist_fields

@@ -1,0 +1,162 @@
+"""Run ledger: append/query round-trips, fault tolerance, diffing."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    Ledger,
+    RunRecord,
+    diff_metrics,
+    diff_records,
+    format_diff,
+    format_list,
+    format_show,
+    new_run_id,
+)
+from repro.obs.provenance import CONFIG_HASH_LEN, config_hash, platform_snapshot
+
+
+def make_record(run_id="r20260101-000000-aaaa", **overrides) -> RunRecord:
+    base = dict(
+        run_id=run_id,
+        ts=1.75e9,
+        command="figure",
+        argv=["figure", "9"],
+        duration_s=2.5,
+        git_sha="deadbeef" * 5,
+        git_dirty=False,
+        config_hash="abc123def456",
+        config={"figure": 9, "seed": 4},
+        master_seed=4,
+        metrics={"fig9.median_gain_high_n10": 8.2},
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestRoundTrip:
+    def test_append_then_read_back(self, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        rec = make_record()
+        path = ledger.append(rec)
+        assert path.exists()
+        (got,) = list(ledger.records())
+        assert got.run_id == rec.run_id
+        assert got.command == "figure"
+        assert got.master_seed == 4
+        assert got.metrics == {"fig9.median_gain_high_n10": 8.2}
+        assert got.schema == LEDGER_SCHEMA
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        ledger.append(make_record("r1"))
+        ledger.append(make_record("r2"))
+        lines = ledger.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["schema"] == LEDGER_SCHEMA for line in lines)
+
+    def test_command_filter_and_ordering(self, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        for i, cmd in enumerate(["figure", "simulate", "figure"]):
+            ledger.append(make_record(f"r{i}", command=cmd))
+        assert [r.run_id for r in ledger.records()] == ["r0", "r1", "r2"]
+        assert [r.run_id for r in ledger.records(command="figure")] == ["r0", "r2"]
+        assert ledger.latest().run_id == "r2"
+        assert ledger.latest(command="simulate").run_id == "r1"
+        assert [r.run_id for r in ledger.last(2)] == ["r1", "r2"]
+
+    def test_get_by_id_and_prefix(self, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        ledger.append(make_record("r20260101-000000-aaaa"))
+        ledger.append(make_record("r20260102-000000-bbbb"))
+        assert ledger.get("r20260101-000000-aaaa").run_id.endswith("aaaa")
+        assert ledger.get("r20260102").run_id.endswith("bbbb")
+        assert ledger.get("r2026") is None  # ambiguous prefix
+        assert ledger.get("nope") is None
+
+    def test_unknown_fields_are_ignored_on_read(self, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        data = make_record().to_dict()
+        data["future_field"] = {"from": "a newer schema"}
+        ledger.runs_dir.mkdir(parents=True)
+        ledger.path.write_text(json.dumps(data) + "\n")
+        (got,) = list(ledger.records())
+        assert got.run_id == make_record().run_id
+
+
+class TestFaultTolerance:
+    def test_empty_or_missing_ledger(self, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        assert list(ledger.records()) == []
+        assert ledger.latest() is None
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        ledger.append(make_record("r1"))
+        with open(ledger.path, "a") as f:
+            f.write('{"run_id": "r2", "truncat')  # torn mid-append
+        assert [r.run_id for r in ledger.records()] == ["r1"]
+
+    def test_corruption_before_the_end_raises(self, tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        ledger.append(make_record("r1"))
+        with open(ledger.path, "a") as f:
+            f.write("not json at all\n")
+        ledger.append(make_record("r2"))
+        with pytest.raises(ValueError, match="corrupt"):
+            list(ledger.records())
+
+
+class TestDiff:
+    def test_diff_metrics_rows(self):
+        rows = diff_metrics({"a": 1.0, "b": 2.0}, {"b": 3.0, "c": 4.0})
+        by_name = {r["metric"]: r for r in rows}
+        assert set(by_name) == {"a", "b", "c"}
+        assert by_name["a"]["new"] is None and by_name["a"]["delta"] is None
+        assert by_name["b"]["delta"] == pytest.approx(1.0)
+        assert by_name["b"]["rel"] == pytest.approx(0.5)
+        assert by_name["c"]["old"] is None
+
+    def test_diff_records_identity_changes(self):
+        old = make_record("r1")
+        new = make_record("r2", config_hash="fff000fff000", master_seed=5,
+                          metrics={"fig9.median_gain_high_n10": 9.0})
+        diff = diff_records(old, new)
+        assert set(diff["identity"]) == {"config_hash", "master_seed"}
+        assert diff["old"] == "r1" and diff["new"] == "r2"
+        (row,) = diff["metrics"]
+        assert row["delta"] == pytest.approx(0.8)
+        # identical runs: no identity changes
+        assert diff_records(old, old)["identity"] == {}
+
+
+class TestRendering:
+    def test_format_list_and_show_and_diff(self):
+        records = [make_record("r1"), make_record("r2", status="error")]
+        listing = format_list(records)
+        assert "r1" in listing and "error" in listing
+        assert format_list([]) == "ledger is empty"
+        shown = json.loads(format_show(records[0]))
+        assert shown["run_id"] == "r1"
+        rendered = format_diff(diff_records(records[0], records[1]))
+        assert "r1 -> r2" in rendered
+
+
+class TestProvenance:
+    def test_config_hash_is_canonical(self):
+        a = config_hash({"seed": 4, "figure": 9})
+        b = config_hash({"figure": 9, "seed": 4})
+        assert a == b
+        assert len(a) == CONFIG_HASH_LEN
+        assert a != config_hash({"figure": 9, "seed": 5})
+
+    def test_platform_snapshot_fields(self):
+        snap = platform_snapshot()
+        assert snap["cpu_count"] >= 1
+        assert snap["python"]
+        assert snap["numpy"]
+
+    def test_run_ids_sort_by_time(self):
+        assert new_run_id(1000.0)[:16] < new_run_id(2000.0)[:16]

@@ -1,0 +1,159 @@
+"""Live sweep telemetry: progress events, rendering modes, fault paths."""
+
+import io
+import os
+
+import pytest
+
+from repro.obs.events import read_events
+from repro.obs.progress import SweepProgress, _progress_mode
+from repro.obs.tracer import trace
+from repro.runtime import CellSpec, run_sweep
+from repro.runtime.engine import WORKER_ENV_FLAG
+
+
+def steady_kernel(params, seed):
+    return float(params["value"])
+
+
+def fail_in_worker_kernel(params, seed):
+    """Raises inside pool workers; succeeds on the parent's serial retry."""
+    if os.environ.get(WORKER_ENV_FLAG):
+        raise RuntimeError("injected worker failure")
+    return float(params["value"])
+
+
+CELLS = [
+    CellSpec(key="a", params={"value": 1.0}, n_trials=5),
+    CellSpec(key="b", params={"value": 2.0}, n_trials=7),
+]
+
+
+def progress_events(tmp_path, **sweep_kwargs):
+    """Run a sweep with tracing on; return its runtime.progress events."""
+    path = tmp_path / "trace.jsonl"
+    trace.configure(str(path))
+    try:
+        result = run_sweep(**sweep_kwargs)
+    finally:
+        trace.close()
+    events = [
+        e["attrs"] for e in read_events(str(path))
+        if e.get("type") == "event" and e.get("name") == "runtime.progress"
+    ]
+    return result, events
+
+
+class TestProgressEvents:
+    def test_serial_event_stream_is_monotonic_and_complete(self, tmp_path):
+        result, events = progress_events(
+            tmp_path, name="unit", kernel=steady_kernel, cells=CELLS,
+            master_seed=0, chunk_size=3,
+        )
+        assert events, "a sweep must emit progress events"
+        done = [e["done_chunks"] for e in events]
+        assert done == sorted(done)
+        trials = [e["done_trials"] for e in events]
+        assert trials == sorted(trials)
+        final = events[-1]
+        assert final["final"] is True
+        # cell a: 5 trials -> 2 chunks; cell b: 7 trials -> 3 chunks
+        assert final["done_chunks"] == final["total_chunks"] == 5
+        assert final["done_trials"] == final["total_trials"] == 12
+        assert final["failures"] == 0 and final["retries"] == 0
+        assert final["workers_busy"] == 0
+
+    def test_pool_event_ordering_with_injected_failures(self, tmp_path):
+        """workers>1 + every chunk failing in the pool: counts stay
+        monotonic, every failure is retried, and the final event accounts
+        for all work."""
+        result, events = progress_events(
+            tmp_path, name="unit", kernel=fail_in_worker_kernel, cells=CELLS,
+            master_seed=0, chunk_size=3, workers=2,
+        )
+        done = [e["done_chunks"] for e in events]
+        assert done == sorted(done)
+        final = events[-1]
+        assert final["final"] is True
+        assert final["done_chunks"] == final["total_chunks"] == 5
+        assert final["done_trials"] == final["total_trials"] == 12
+        assert final["failures"] == 5
+        assert final["retries"] == 5
+        # the sweep still produced the serial-identical result
+        assert result.chunk_failures == 5
+        serial = run_sweep("unit", steady_kernel, CELLS, master_seed=0,
+                           chunk_size=3)
+        assert result.results == serial.results
+
+    def test_resumed_work_counts_from_the_start(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        run_sweep("unit", steady_kernel, CELLS, master_seed=0, chunk_size=3,
+                  checkpoint=str(ck))
+        _, events = progress_events(
+            tmp_path, name="unit", kernel=steady_kernel, cells=CELLS,
+            master_seed=0, chunk_size=3, checkpoint=str(ck), resume=True,
+        )
+        assert events[0]["done_chunks"] == 5  # everything resumed
+
+
+class TestRendering:
+    def _tracker(self, monkeypatch, mode_env, **kwargs) -> tuple:
+        if mode_env is None:
+            monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_PROGRESS", mode_env)
+        stream = io.StringIO()
+        defaults = dict(name="s", total_chunks=4, total_trials=8, workers=2,
+                        stream=stream, min_interval_s=0.0,
+                        noninteractive_interval_s=0.0)
+        defaults.update(kwargs)
+        return SweepProgress(**defaults), stream
+
+    def test_off_mode_writes_nothing(self, monkeypatch):
+        tracker, stream = self._tracker(monkeypatch, "0")
+        tracker.chunk_done(2)
+        tracker.close()
+        assert stream.getvalue() == ""
+
+    def test_forced_tty_mode_repaints_one_line(self, monkeypatch):
+        tracker, stream = self._tracker(monkeypatch, "1")
+        for _ in range(4):
+            tracker.chunk_done(2)
+        tracker.close()
+        out = stream.getvalue()
+        assert "\r" in out
+        assert out.endswith("\n")
+        assert "4/4 chunks" in out
+        assert "8/8 trials" in out
+
+    def test_plain_mode_writes_full_lines(self, monkeypatch):
+        tracker, stream = self._tracker(monkeypatch, None)  # StringIO: no tty
+        tracker.chunk_done(2)
+        tracker.chunk_failed()
+        tracker.retry_done()
+        tracker.chunk_done(2)
+        tracker.close()
+        lines = stream.getvalue().splitlines()
+        assert all("\r" not in line for line in lines)
+        assert "retries 1/1" in lines[-1]
+        assert "done in" in lines[-1]
+
+    def test_mode_detection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        assert _progress_mode(io.StringIO()) == "off"
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        assert _progress_mode(io.StringIO()) == "tty"
+        monkeypatch.delenv("REPRO_PROGRESS")
+        assert _progress_mode(io.StringIO()) == "plain"
+
+    def test_derived_quantities(self, monkeypatch):
+        tracker, _ = self._tracker(monkeypatch, "0", resumed_chunks=1,
+                                   resumed_trials=2)
+        assert tracker.done_chunks == 1
+        assert tracker.workers_busy == 2  # 3 chunks left, 2 workers
+        tracker.chunk_done(2)
+        tracker.chunk_done(2)
+        tracker.chunk_done(2)
+        assert tracker.workers_busy == 0
+        assert tracker.eta_s == pytest.approx(0.0, abs=1e-6)
+        assert tracker.trials_per_s > 0
