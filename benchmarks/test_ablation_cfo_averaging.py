@@ -7,7 +7,6 @@ trade-off: no averaging (alpha = 1) keeps the raw per-header noise; too
 small a coefficient has not converged after a bounded number of headers.
 """
 
-import numpy as np
 
 from benchmarks.conftest import report
 from repro.sim.ablations import run_cfo_averaging_ablation

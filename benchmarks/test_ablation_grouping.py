@@ -13,7 +13,7 @@ import numpy as np
 
 from benchmarks.conftest import report
 from repro.constants import MAC_EFFICIENCY, SAMPLE_RATE_USRP
-from repro.mac.grouping import GreedyFifoGrouping, ThroughputAwareGrouping
+from repro.mac.grouping import ThroughputAwareGrouping
 from repro.mac.queue import DownlinkQueue
 from repro.mac.rate import EffectiveSnrRateSelector
 from repro.mac.scheduler import JointScheduler

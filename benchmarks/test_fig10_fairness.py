@@ -31,5 +31,7 @@ def test_fig10_per_client_gain_cdfs(benchmark, full_scale):
     assert 6.0 < p50 < 12.0
     # CDF is wider at low SNR (relative spread)
     g_low = result.gains[("low", 10)]
-    spread = lambda x: np.percentile(x, 90) - np.percentile(x, 10)
+    def spread(x):
+        return np.percentile(x, 90) - np.percentile(x, 10)
+
     assert spread(g_low) / np.median(g_low) > 0.5 * spread(g) / np.median(g)

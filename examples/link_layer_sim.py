@@ -13,7 +13,6 @@ can't:
     python examples/link_layer_sim.py
 """
 
-import numpy as np
 
 from repro.mac.simulator import DownlinkSimulator, LinkLayerConfig
 

@@ -50,7 +50,9 @@ def main():
     report = system.joint_transmit(payloads, get_mcs(2), start_time=1e-3)
     # some legacy traffic on the same channel afterwards
     system.medium.register_node("legacy", Oscillator(OscillatorConfig(ppm_offset=-1.2), rng=3))
-    system.medium.set_link("legacy", "spy", LinkChannel(taps=np.array([0.9 + 0.2j]) * np.sqrt(gain)))
+    system.medium.set_link(
+        "legacy", "spy", LinkChannel(taps=np.array([0.9 + 0.2j]) * np.sqrt(gain))
+    )
     LegacySender(frame_bytes=48, inter_frame_s=200e-6).schedule(
         system.medium, "legacy", 2.6e-3, 0.8e-3, rng=4
     )

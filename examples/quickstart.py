@@ -8,7 +8,6 @@ both clients decoding their own packets concurrently on one channel.
     python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import MegaMimoSystem, SystemConfig, get_mcs
 from repro.channel.models import RicianChannel

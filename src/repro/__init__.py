@@ -20,16 +20,9 @@ See ``examples/`` for complete scenarios and ``repro.sim.experiments`` for
 the paper's evaluation figures.
 """
 
-from repro.core.system import (
-    JointTransmissionReport,
-    MegaMimoSystem,
-    SystemConfig,
-)
-from repro.core.beamforming import (
-    diversity_precoder,
-    zero_forcing_precoder,
-)
+from repro.core.beamforming import diversity_precoder, zero_forcing_precoder
 from repro.core.phasesync import PhaseSynchronizer
+from repro.core.system import JointTransmissionReport, MegaMimoSystem, SystemConfig
 from repro.mac.rate import EffectiveSnrRateSelector
 from repro.phy.mcs import ALL_MCS, get_mcs, mcs_by_name
 

@@ -1,0 +1,54 @@
+"""Static analysis for the reproduction's code-level invariants.
+
+``repro lint`` (also ``python -m repro.analysis``) runs an AST-based
+analyzer over the source tree and enforces, *before the code ever runs*,
+the invariants the runtime stack can only observe after the fact:
+
+* **determinism** — no legacy global-state numpy RNG, no unseeded
+  generators outside the seeding plumbing, no stdlib ``random`` or
+  wall-clock reads inside kernel packages (``DET001``-``DET004``);
+* **rng discipline** — functions that accept an ``rng`` must thread it,
+  never re-derive their own stream (``RNG001``);
+* **numerics** — no exact float equality, no ``np.matrix``, no silent
+  complex-to-real casts on channel/precoder values (``NUM001``-``NUM003``);
+* **obs hygiene** — spans context-managed, metric names following the
+  ``dotted.name`` convention (``OBS001``-``OBS002``).
+
+Violations can be suppressed per line with ``# repro: noqa[RULE]`` and
+pre-existing debt is frozen in ``tests/data/lint_baseline.json``; see
+``docs/static_analysis.md`` for the full rule catalog and workflow.
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    GateResult,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import LintReport, lint_file, parse_snippet, run_lint
+from repro.analysis.registry import Rule, all_rules, register, rule_ids
+from repro.analysis.source import ImportMap, ModuleSource
+from repro.analysis.violations import Severity, Violation
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "GateResult",
+    "ImportMap",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "Severity",
+    "Violation",
+    "all_rules",
+    "compare",
+    "lint_file",
+    "load_baseline",
+    "parse_snippet",
+    "register",
+    "rule_ids",
+    "run_lint",
+    "write_baseline",
+]

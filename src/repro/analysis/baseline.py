@@ -1,0 +1,133 @@
+"""Baseline file: freeze existing lint debt, fail only on new violations.
+
+The committed baseline (``tests/data/lint_baseline.json``) records a
+fingerprint for every violation that existed when the gate was introduced.
+``repro lint`` then fails only on violations *not* in the baseline, so the
+gate can be adopted without a flag-day cleanup while still preventing any
+new debt.  ``repro lint --update-baseline`` re-freezes the current state
+(use it after deliberately fixing or accepting debt; review the diff).
+
+Fingerprints hash ``(path, rule, offending line text, occurrence index)``
+— see :meth:`repro.analysis.violations.Violation.fingerprint` — so
+unrelated edits that shift line numbers do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.engine import LintReport
+from repro.analysis.violations import Violation
+
+#: Schema marker so a future format change can migrate old files.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+@dataclass
+class Baseline:
+    """The set of accepted (frozen) violation fingerprints."""
+
+    entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class GateResult:
+    """Baseline comparison outcome consumed by the CLI and tests."""
+
+    new: List[Violation] = field(default_factory=list)
+    accepted: List[Violation] = field(default_factory=list)
+    stale: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return {
+            "new": len(self.new),
+            "accepted": len(self.accepted),
+            "stale": len(self.stale),
+        }
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; raises :class:`BaselineError` when unusable.
+
+    A missing file is *not* an error — it means "empty baseline" so the
+    gate works out of the box on fresh checkouts and fixture trees.
+    """
+    if not path.exists():
+        return Baseline(path=str(path))
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise BaselineError(f"baseline {path} has no 'entries' object")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has version {version!r}; "
+            f"this tool reads version {BASELINE_VERSION}"
+        )
+    entries = data["entries"]
+    if not isinstance(entries, dict):
+        raise BaselineError(f"baseline {path} 'entries' must be an object")
+    return Baseline(entries=dict(entries), path=str(path))
+
+
+def write_baseline(path: Path, report: LintReport) -> Baseline:
+    """Freeze every violation in ``report`` into the baseline at ``path``."""
+    entries: Dict[str, Dict[str, Any]] = {}
+    for violation, fingerprint in report.fingerprints():
+        entries[fingerprint] = {
+            "rule": violation.rule,
+            "path": violation.path,
+            "line": violation.line,
+            "text": violation.text,
+        }
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Frozen repro-lint debt: violations listed here do not fail the "
+            "gate. Regenerate with `repro lint --update-baseline` and review "
+            "the diff; see docs/static_analysis.md."
+        ),
+        "entries": entries,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return Baseline(entries=entries, path=str(path))
+
+
+def compare(report: LintReport, baseline: Baseline) -> GateResult:
+    """Split a report into new vs. baseline-accepted violations.
+
+    Also surfaces *stale* baseline entries (debt that no longer exists) so
+    fixed violations can be retired from the file.
+    """
+    result = GateResult()
+    seen = set()
+    for violation, fingerprint in report.fingerprints():
+        seen.add(fingerprint)
+        if fingerprint in baseline:
+            result.accepted.append(violation)
+        else:
+            result.new.append(violation)
+    for fingerprint, entry in sorted(baseline.entries.items()):
+        if fingerprint not in seen:
+            result.stale.append({"fingerprint": fingerprint, **entry})
+    return result

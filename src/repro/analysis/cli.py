@@ -1,0 +1,197 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.analysis``.
+
+Exit codes:
+
+* ``0`` — no violations outside the baseline (warnings reported but
+  tolerated unless ``--strict``),
+* ``1`` — new violations (any new ERROR; with ``--strict``, any new hit),
+* ``2`` — configuration problems (unreadable baseline, no files).
+
+The flag set is shared with the ``repro lint`` subcommand of the main CLI
+through :func:`add_lint_arguments`, so both entry points stay in lockstep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import IO, List, Optional
+
+from repro.analysis import baseline as B
+from repro.analysis import engine
+from repro.analysis.registry import all_rules
+from repro.analysis.violations import Severity
+
+#: Where the committed debt-freeze lives (relative to the repo root).
+DEFAULT_BASELINE = "tests/data/lint_baseline.json"
+
+#: What ``repro lint`` checks when no paths are given.
+DEFAULT_PATHS = ("src",)
+
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags (shared by ``repro lint`` and ``-m``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+        help=f"frozen-debt baseline JSON (default {DEFAULT_BASELINE}; "
+             f"a missing file means an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report and gate on every violation",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="freeze the current violations into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on new WARNING-severity hits too (the CI setting)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _format_rules() -> str:
+    lines = [f"{'id':<8} {'severity':<8} {'family':<12} summary"]
+    for rule in all_rules():
+        lines.append(
+            f"{rule.id:<8} {str(rule.severity):<8} {rule.family:<12} {rule.summary}"
+        )
+    return "\n".join(lines)
+
+
+def _text_report(
+    result: B.GateResult, report: engine.LintReport, strict: bool,
+    stream: IO[str],
+) -> None:
+    for violation in result.new:
+        print(violation.format(), file=stream)
+    gating = [
+        v for v in result.new
+        if strict or v.severity is Severity.ERROR
+    ]
+    tolerated = len(result.new) - len(gating)
+    print(
+        f"repro lint: {report.files_checked} files, "
+        f"{len(result.new)} new ({len(gating)} gating, {tolerated} warnings), "
+        f"{len(result.accepted)} baselined, {len(result.stale)} stale "
+        f"baseline entries, {report.suppressed} noqa-suppressed",
+        file=stream,
+    )
+    if result.stale:
+        print(
+            "stale baseline entries (fixed debt) — refresh with "
+            "--update-baseline:", file=stream,
+        )
+        for entry in result.stale:
+            print(
+                f"  {entry['path']}:{entry.get('line', '?')} "
+                f"{entry['rule']} {entry.get('text', '')!r}",
+                file=stream,
+            )
+
+
+def _json_report(
+    result: B.GateResult, report: engine.LintReport, strict: bool,
+    stream: IO[str],
+) -> None:
+    new_fps = {id(v) for v in result.new}
+    payload = {
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "strict": strict,
+        "counts": result.counts,
+        "violations": [
+            {**v.to_dict(), "fingerprint": fp, "new": id(v) in new_fps}
+            for v, fp in report.fingerprints()
+        ],
+        "stale": result.stale,
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def run_lint_command(
+    args: argparse.Namespace, stream: Optional[IO[str]] = None
+) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    out: IO[str] = stream if stream is not None else sys.stdout
+    if args.list_rules:
+        print(_format_rules(), file=out)
+        return EXIT_OK
+
+    paths = [Path(p) for p in (args.paths or DEFAULT_PATHS)]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro lint: no such path: "
+            f"{', '.join(str(p) for p in missing)}", file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    report = engine.run_lint(paths)
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        frozen = B.write_baseline(baseline_path, report)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(frozen)} frozen violations)", file=out,
+        )
+        return EXIT_OK
+
+    if args.no_baseline:
+        baseline = B.Baseline()
+    else:
+        try:
+            baseline = B.load_baseline(baseline_path)
+        except B.BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    result = B.compare(report, baseline)
+    if args.format == "json":
+        _json_report(result, report, args.strict, out)
+    else:
+        _text_report(result, report, args.strict, out)
+
+    gating = [
+        v for v in result.new
+        if args.strict or v.severity is Severity.ERROR
+    ]
+    return EXIT_VIOLATIONS if gating else EXIT_OK
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based determinism/numerics/observability linter for the "
+            "MegaMIMO reproduction (see docs/static_analysis.md)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    args = build_parser().parse_args(argv)
+    return run_lint_command(args)

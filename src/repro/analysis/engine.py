@@ -1,0 +1,135 @@
+"""Lint engine: walk files, run every registered rule, apply suppressions.
+
+The engine is deliberately runtime-free: it parses source text and never
+imports the code under analysis, so it can gate broken or heavyweight
+modules alike, and runs identically in CI and pre-commit contexts.
+
+File paths inside :class:`Violation` records are stored POSIX-style and
+relative to the lint *root* (default: the current working directory), which
+is what keeps baseline fingerprints machine-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.registry import Rule, all_rules
+from repro.analysis.source import ModuleSource, module_name_for
+from repro.analysis.violations import Severity, Violation
+
+#: Pseudo-rule id for files the parser rejects outright.
+SYNTAX_RULE_ID = "SYN001"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run (before any baseline comparison)."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: int = 0  #: hits silenced by ``# repro: noqa`` comments
+    files_checked: int = 0
+
+    def by_severity(self, severity: Severity) -> List[Violation]:
+        return [v for v in self.violations if v.severity is severity]
+
+    def fingerprints(self) -> List[Tuple[Violation, str]]:
+        """``(violation, fingerprint)`` pairs with stable occurrence indices.
+
+        Identical ``(path, rule, line-text)`` triples are numbered in line
+        order, so moving an offending line does not mint a new fingerprint
+        but adding a second identical offence does.
+        """
+        counts: Dict[Tuple[str, str, str], int] = {}
+        pairs: List[Tuple[Violation, str]] = []
+        for violation in sorted(
+            self.violations, key=lambda v: (v.path, v.line, v.col, v.rule)
+        ):
+            key = (violation.path, violation.rule, violation.text)
+            occurrence = counts.get(key, 0)
+            counts[key] = occurrence + 1
+            pairs.append((violation, violation.fingerprint(occurrence)))
+        return pairs
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    yield candidate
+
+
+def _relative_posix(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path, root: Path, rules: Sequence[Rule]
+) -> Tuple[List[Violation], int]:
+    """Run ``rules`` over one file; returns (violations, suppressed count).
+
+    A file that fails to parse produces a single :data:`SYNTAX_RULE_ID`
+    violation instead of aborting the run.
+    """
+    rel = _relative_posix(path, root)
+    text = path.read_text(encoding="utf-8")
+    module = module_name_for(path.resolve().parts)
+    try:
+        src = ModuleSource.parse(rel, text, module=module)
+    except SyntaxError as exc:
+        lineno = exc.lineno or 1
+        return [
+            Violation(
+                rule=SYNTAX_RULE_ID,
+                severity=Severity.ERROR,
+                path=rel,
+                line=lineno,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+                text=(exc.text or "").strip(),
+            )
+        ], 0
+
+    kept: List[Violation] = []
+    suppressed = 0
+    for rule in rules:
+        for violation in rule.check(src):
+            if src.suppressed(violation.line, violation.rule):
+                suppressed += 1
+            else:
+                kept.append(violation)
+    return kept, suppressed
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the registered rules."""
+    root = (root or Path.cwd()).resolve()
+    active = list(rules) if rules is not None else all_rules()
+    report = LintReport()
+    for path in iter_python_files([Path(p) for p in paths]):
+        violations, suppressed = lint_file(path, root, active)
+        report.violations.extend(violations)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report
+
+
+def parse_snippet(
+    text: str, module: str = "repro.core.snippet", path: str = "<snippet>"
+) -> ModuleSource:
+    """Parse an in-memory snippet as if it lived at ``module`` (test helper)."""
+    return ModuleSource.parse(path, text, module=module)

@@ -1,0 +1,100 @@
+"""Pluggable rule registry for the ``repro lint`` analyzer.
+
+A rule is a subclass of :class:`Rule` with a unique ``id``, a ``family``
+(``determinism``/``rng``/``numerics``/``obs``), a :class:`Severity`, and a
+``check`` method yielding :class:`Violation` records for one parsed module.
+Decorating the class with :func:`register` makes it discoverable; the
+engine instantiates every registered rule once per run.
+
+Adding a rule is three steps (see ``docs/static_analysis.md``):
+
+1. subclass :class:`Rule` in a module under ``repro.analysis.rules``,
+2. decorate it with ``@register``,
+3. add a flagged and a clean fixture under ``tests/analysis/fixtures/``
+   (a meta-test fails the suite if either is missing).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Type
+
+from repro.analysis.source import ModuleSource
+from repro.analysis.violations import Severity, Violation
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Class attributes declare identity and gating; subclasses implement
+    :meth:`check`.  Rules must be stateless across modules — the engine
+    reuses one instance for the whole run.
+    """
+
+    #: Unique identifier, ``<FAMILY-PREFIX><NNN>`` (e.g. ``DET001``).
+    id: str = ""
+    #: Rule family, used for grouping in reports and docs.
+    family: str = ""
+    #: Gate level (see :class:`Severity`).
+    severity: Severity = Severity.ERROR
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+
+    def check(self, src: ModuleSource) -> Iterator[Violation]:
+        """Yield every hit of this rule in ``src``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for subclass typing
+
+    def violation(
+        self, src: ModuleSource, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(
+            rule=self.id,
+            severity=self.severity,
+            path=src.path,
+            line=line,
+            col=col,
+            message=message,
+            text=src.line_text(line),
+        )
+
+
+#: id -> rule class, populated by :func:`register` at import time.
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry.
+
+    Raises ``ValueError`` on duplicate or malformed ids so a bad rule fails
+    loudly at import time rather than silently shadowing another rule.
+    """
+    rule_id = rule_cls.id
+    if not rule_id or not rule_id.isalnum() or not rule_id[0].isalpha():
+        raise ValueError(f"rule {rule_cls.__name__} has invalid id {rule_id!r}")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    if not rule_cls.summary or not rule_cls.family:
+        raise ValueError(f"rule {rule_id} must declare summary and family")
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def load_rules() -> None:
+    """Import the built-in rule modules (idempotent)."""
+    from repro.analysis import rules  # noqa: F401  (import registers rules)
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, ordered by id."""
+    load_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    load_rules()
+    return sorted(_REGISTRY)

@@ -1,0 +1,11 @@
+"""Built-in rule families for ``repro lint``.
+
+Importing this package registers every shipped rule with
+:mod:`repro.analysis.registry`.  Third-party or experiment-local rules can
+``@register`` additional :class:`~repro.analysis.registry.Rule` subclasses
+before invoking the engine.
+"""
+
+from repro.analysis.rules import determinism, numerics, obs
+
+__all__ = ["determinism", "numerics", "obs"]

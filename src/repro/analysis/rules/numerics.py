@@ -1,0 +1,182 @@
+"""Numerics rules: float-equality traps and silent complex-to-real casts.
+
+MegaMIMO's phase math lives in complex channel estimates and precoder
+weights; a silent ``.real`` or ``float()`` cast on one of those corrupts
+phase information without raising, and exact ``==`` on floating-point
+results is the classic cross-platform reproducibility trap.  Deliberate
+exact comparisons (zero sentinels, disabled-path guards) stay possible via
+``# repro: noqa[NUM001]`` with a short justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import ModuleSource, base_identifier
+from repro.analysis.violations import Severity
+
+#: Value names treated as known-complex channel/precoder quantities.
+_COMPLEX_NAME_RE = re.compile(
+    r"(?i)(channel|csi|precod|beamform|steer|weight)|^(h|hs)$"
+)
+
+def _is_float_expr(src: ModuleSource, node: ast.AST) -> bool:
+    """Conservative: True only when the expression is provably float/complex.
+
+    Literals, arithmetic over literals, explicit ``float(...)`` casts and
+    ``.real``/``.imag`` component reads qualify; bare names never do, so
+    integer comparisons (`n == 0`) are never flagged.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (float, complex))
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(src, node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_float_expr(src, node.left) or _is_float_expr(src, node.right)
+    if isinstance(node, ast.Call):
+        path = src.imports.resolve(node.func)
+        if path in ("float", "complex"):
+            return True
+        return path in (
+            "numpy.float64", "numpy.float32", "numpy.float16", "numpy.longdouble",
+        )
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("real", "imag")
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    """Exact ``==``/``!=`` on floating-point expressions."""
+
+    id = "NUM001"
+    family = "numerics"
+    severity = Severity.ERROR
+    summary = (
+        "== / != on a float or complex expression; compare with "
+        "np.isclose/tolerances (noqa a deliberate exact-zero sentinel)"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_expr(src, left) or _is_float_expr(src, right):
+                    yield self.violation(
+                        src, node,
+                        "exact equality on a floating-point expression; use "
+                        "np.isclose / an explicit tolerance, or mark a "
+                        "deliberate sentinel with `# repro: noqa[NUM001]`",
+                    )
+                    break  # one report per comparison chain
+
+
+@register
+class NumpyMatrix(Rule):
+    """``np.matrix`` is deprecated and changes ``*``/slicing semantics."""
+
+    id = "NUM002"
+    family = "numerics"
+    severity = Severity.ERROR
+    summary = "np.matrix is deprecated; use 2-D ndarrays with @ for matmul"
+
+    def check(self, src: ModuleSource) -> Iterator:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            if src.imports.resolve(node) == "numpy.matrix":
+                yield self.violation(
+                    src, node,
+                    "numpy.matrix is deprecated and silently changes "
+                    "operator semantics; use a 2-D ndarray and `@`",
+                )
+
+
+def _statement_of(parents: dict, node: ast.AST) -> Optional[ast.stmt]:
+    """The innermost statement containing ``node``."""
+    current: Optional[ast.AST] = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = parents.get(current)
+    return current if isinstance(current, ast.stmt) else None
+
+
+@register
+class ComplexToRealCast(Rule):
+    """Silent complex->real casts on channel/precoder values.
+
+    ``h.real`` (or ``float(h)`` / ``np.real(h)``) on a channel estimate
+    throws the quadrature component away without a trace; magnitude and
+    phase reads must go through ``np.abs``/``np.angle``.  Reading ``.real``
+    *paired with* ``.imag`` of the same value in the same statement is the
+    legitimate I/Q-decomposition idiom (quantizers, serializers) and is not
+    flagged.
+    """
+
+    id = "NUM003"
+    family = "numerics"
+    severity = Severity.WARNING
+    summary = (
+        ".real / float() on a channel/precoder value outside np.abs / "
+        "np.angle (unpaired with .imag); drops phase silently"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator:
+        parents: dict = {}
+        for parent in ast.walk(src.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+
+        def paired_imag(base: ast.AST, node: ast.AST) -> bool:
+            stmt = _statement_of(parents, node)
+            if stmt is None:
+                return False
+            want = ast.dump(base)
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Attribute) and sub.attr == "imag":
+                    if ast.dump(sub.value) == want:
+                        return True
+                if isinstance(sub, ast.Call):
+                    if src.imports.resolve(sub.func) == "numpy.imag" and sub.args:
+                        if ast.dump(sub.args[0]) == want:
+                            return True
+            return False
+
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "real":
+                base = node.value
+                name = base_identifier(base)
+                if name and _COMPLEX_NAME_RE.search(name):
+                    if not paired_imag(base, node):
+                        yield self.violation(
+                            src, node,
+                            f"`.real` on {name!r} silently drops the "
+                            f"quadrature component; use np.abs/np.angle "
+                            f"(or read .real and .imag together)",
+                        )
+            elif isinstance(node, ast.Call):
+                path = src.imports.resolve(node.func)
+                if path == "float" and node.args:
+                    target = node.args[0]
+                elif path == "numpy.real" and node.args:
+                    target = node.args[0]
+                else:
+                    continue
+                name = base_identifier(target)
+                if name and _COMPLEX_NAME_RE.search(name):
+                    caster = "float()" if path == "float" else "np.real()"
+                    if path == "numpy.real" and paired_imag(target, node):
+                        continue
+                    yield self.violation(
+                        src, node,
+                        f"{caster} on {name!r} silently drops the "
+                        f"quadrature component; use np.abs/np.angle",
+                    )

@@ -1,0 +1,117 @@
+"""Observability-hygiene rules: span lifecycles and metric naming.
+
+The tracer's span records are only exception-safe when spans are entered
+through ``with`` (``Span.__exit__`` emits the record; a span that is never
+exited is silently lost, and one exited manually can mis-nest the stack).
+Metric names must follow the registered ``dotted.name`` convention —
+``component.metric`` lowercase with underscores — because the summarizer's
+glob filters, the OpenMetrics exporter and the regression gate all key on
+that shape (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import ModuleSource, dotted_name
+from repro.analysis.violations import Severity
+
+#: The registered metric-name convention: at least two lowercase dotted
+#: segments, e.g. ``mac.arq.retries`` or ``phasesync.cfo_residual_hz``.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Registry accessors whose first argument is a metric name.
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+
+def _is_tracer_base(src: ModuleSource, node: ast.AST) -> bool:
+    """Heuristic: does this expression look like a tracer handle?
+
+    Matches the module-level ``trace`` singleton (however imported), any
+    ``*tracer*``-named local, and attribute chains ending in a tracer.
+    """
+    path = src.imports.resolve(node) or dotted_name(node) or ""
+    leaf = path.rsplit(".", 1)[-1].lower()
+    return "trace" in leaf or "tracer" in path.lower()
+
+
+@register
+class SpanOutsideWith(Rule):
+    """Tracer spans must be opened via ``with`` so exit always records."""
+
+    id = "OBS001"
+    family = "obs"
+    severity = Severity.ERROR
+    summary = (
+        "tracer .span(...) opened outside a `with` block; spans must be "
+        "context-managed so their records survive exceptions"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator:
+        with_contexts: Set[int] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_contexts.add(id(item.context_expr))
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "span"):
+                continue
+            if not _is_tracer_base(src, func.value):
+                continue
+            if id(node) in with_contexts:
+                continue
+            yield self.violation(
+                src, node,
+                "span opened outside `with`; use `with trace.span(...) as "
+                "sp:` so the record is emitted even when the body raises",
+            )
+
+
+@register
+class MetricNameConvention(Rule):
+    """Literal metric names must follow the ``dotted.name`` convention."""
+
+    id = "OBS002"
+    family = "obs"
+    severity = Severity.ERROR
+    summary = (
+        "metric registered with a name outside the dotted.name convention "
+        "(lowercase component.metric); breaks glob filters and exporters"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _METRIC_FACTORIES
+            ):
+                continue
+            base = src.imports.resolve(func.value) or dotted_name(func.value) or ""
+            leaf = base.rsplit(".", 1)[-1].lower()
+            if not ("metrics" in leaf or "registry" in leaf):
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                continue  # dynamic names are the caller's responsibility
+            if METRIC_NAME_RE.match(name_arg.value):
+                continue
+            yield self.violation(
+                src, node,
+                f"metric name {name_arg.value!r} does not match the "
+                f"dotted.name convention (lowercase `component.metric`); "
+                f"see docs/observability.md",
+            )

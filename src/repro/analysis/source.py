@@ -1,0 +1,221 @@
+"""Parsed-module context handed to every lint rule.
+
+A :class:`ModuleSource` bundles what a rule needs to reason about one file:
+the AST, the raw lines, the dotted module name (``repro.phy.frame``) used
+for path-scoped rules, per-line ``# repro: noqa[...]`` suppressions, and an
+import-alias resolver so rules match *semantic* targets — ``np.random.seed``
+is recognized whether numpy was imported as ``np``, imported bare, or its
+submodule was imported directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+#: Matches ``# repro: noqa`` (suppress everything on the line) and
+#: ``# repro: noqa[DET001,NUM001]`` (suppress the listed rules only).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel rule-set meaning "suppress every rule on this line".
+SUPPRESS_ALL: FrozenSet[str] = frozenset({"*"})
+
+
+def _scan_noqa(text: str) -> Dict[int, FrozenSet[str]]:
+    """Per-line suppression sets parsed from comment tokens.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps ``noqa``-shaped
+    text inside string literals from suppressing anything.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                suppressions[tok.start[0]] = SUPPRESS_ALL
+            else:
+                names = frozenset(
+                    r.strip().upper() for r in rules.split(",") if r.strip()
+                )
+                if names:
+                    suppressions[tok.start[0]] = names
+    except tokenize.TokenError:
+        # Unterminated string/bracket: ast.parse will report it; noqa
+        # comments in a file that does not tokenize cannot help anyway.
+        pass
+    return suppressions
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The source-level dotted path of a Name/Attribute chain, or ``None``.
+
+    ``np.random.seed`` -> ``"np.random.seed"``; anything rooted in a call,
+    subscript or literal has no stable dotted path and yields ``None``.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def base_identifier(node: ast.AST) -> Optional[str]:
+    """The root identifier a value expression hangs off, or ``None``.
+
+    Peels attribute access and subscripts: ``channels[0].real`` ->
+    ``"channels"``; ``self.precoder.real`` -> ``"precoder"`` (the attribute
+    nearest the access is the semantically meaningful name for heuristics
+    keyed on what a value *is called*).
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        # for self.channels / obj.channels, the attribute name is the label
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class ImportMap:
+    """Local-name -> canonical dotted-path map built from import statements.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from numpy.random
+    import default_rng as rng_factory`` binds ``rng_factory ->
+    numpy.random.default_rng``.  :meth:`resolve` rewrites a source dotted
+    path through the map so rules compare against canonical module paths.
+    """
+
+    def __init__(self, tree: ast.AST, module: str = "") -> None:
+        self.aliases: Dict[str, str] = {}
+        package = module.rsplit(".", 1)[0] if "." in module else module
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # relative import: anchor at this module's package when
+                    # known; otherwise the names stay unresolvable, which
+                    # only costs a missed match, never a false positive.
+                    if not package:
+                        continue
+                    anchor = package.split(".")
+                    if node.level > 1:
+                        anchor = anchor[: -(node.level - 1)]
+                    base = ".".join(anchor + ([base] if base else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute chain, or ``None``."""
+        path = dotted_name(node)
+        if path is None:
+            return None
+        head, _, rest = path.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+
+@dataclass
+class ModuleSource:
+    """Everything the rules need to analyze one parsed module."""
+
+    path: str  #: POSIX path relative to the lint root (fingerprint key).
+    module: str  #: Dotted module name (``repro.phy.frame``) or ``""``.
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    noqa: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    imports: ImportMap = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.text.splitlines()
+        self.imports = ImportMap(self.tree, self.module)
+
+    @classmethod
+    def parse(cls, path: str, text: str, module: str = "") -> "ModuleSource":
+        """Parse ``text``; raises ``SyntaxError`` for unparsable input."""
+        tree = ast.parse(text, filename=path)
+        src = cls(path=path, module=module, text=text, tree=tree)
+        src.noqa = _scan_noqa(text)
+        return src
+
+    def line_text(self, lineno: int) -> str:
+        """The stripped source text of a 1-based line (``""`` off the end)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        """True when ``# repro: noqa`` on ``lineno`` covers ``rule``."""
+        rules = self.noqa.get(lineno)
+        if rules is None:
+            return False
+        return rules is SUPPRESS_ALL or "*" in rules or rule.upper() in rules
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when this module sits under any dotted package prefix."""
+        for prefix in prefixes:
+            if self.module == prefix or self.module.startswith(prefix + "."):
+                return True
+        return False
+
+
+def module_name_for(path_parts: Tuple[str, ...]) -> str:
+    """Derive a dotted module name from path components.
+
+    Anchors at the *last* ``repro`` component so both installed trees and
+    ``src/repro/...`` checkouts (and test fixtures that mimic them) map to
+    the same module names.  Returns ``""`` when the file is not inside a
+    ``repro`` package — path-scoped rules then simply do not apply.
+    """
+    parts = [p for p in path_parts if p]
+    if "repro" not in parts:
+        return ""
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    tail = list(parts[idx:])
+    if not tail:
+        return ""
+    last = tail[-1]
+    if last.endswith(".py"):
+        tail[-1] = last[: -len(".py")]
+    if tail[-1] == "__init__":
+        tail.pop()
+    return ".".join(tail)
+
+
+#: Kernel packages where wall-clock and stdlib-random access is forbidden
+#: (results must be pure functions of params + seed).  ``repro.obs`` and
+#: ``repro.cli`` are intentionally outside this set: telemetry timestamps
+#: and CLI wall-clock are features, not determinism leaks.
+KERNEL_PACKAGES: Set[str] = {
+    "repro.phy",
+    "repro.channel",
+    "repro.mac",
+    "repro.sim",
+    "repro.core",
+    "repro.radio",
+}

@@ -1,0 +1,83 @@
+"""Violation records emitted by the static-analysis rules.
+
+A :class:`Violation` pins one rule hit to a source location and carries a
+content-addressed :meth:`~Violation.fingerprint` so the baseline file can
+freeze existing debt without being invalidated by unrelated line-number
+drift: the fingerprint hashes the *text* of the offending line (plus an
+occurrence index for repeated identical lines), not its position.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How a rule hit is gated.
+
+    ``ERROR`` violations fail ``repro lint`` when they are not in the
+    baseline; ``WARNING`` violations are reported but only fail the run
+    under ``--strict`` (the CI invocation).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location.
+
+    Attributes:
+        rule: Rule identifier (e.g. ``DET001``).
+        severity: Gate level of the owning rule.
+        path: File path, POSIX-style and relative to the lint root, so
+            fingerprints agree between CI and local runs.
+        line: 1-based source line.
+        col: 0-based column of the offending node.
+        message: Human-readable description of this specific hit.
+        text: The stripped source line, used for display and fingerprints.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    text: str
+
+    def fingerprint(self, occurrence: int = 0) -> str:
+        """Content-addressed identity of this violation.
+
+        Two hits collide only when the same rule flags the same line text
+        in the same file; ``occurrence`` disambiguates genuinely repeated
+        identical lines (assigned in line order by the engine).
+        """
+        key = f"{self.path}::{self.rule}::{self.text}::{occurrence}"
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+    def format(self) -> str:
+        """The canonical one-line rendering (``path:line:col: RULE ...``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} "
+            f"[{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready rendering (used by ``--format json``)."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "text": self.text,
+        }

@@ -6,23 +6,23 @@ channels with a conference-room geometry, path loss, AWGN and a shared
 medium that superposes concurrent transmissions sample by sample.
 """
 
-from repro.channel.oscillator import Oscillator, OscillatorConfig
+from repro.channel.geometry import ConferenceRoom, Placement
+from repro.channel.medium import Medium, Transmission
 from repro.channel.models import (
     ChannelModel,
     FlatRayleighChannel,
+    LinkChannel,
     MultipathChannel,
     RicianChannel,
-    LinkChannel,
 )
+from repro.channel.oscillator import Oscillator, OscillatorConfig
 from repro.channel.pathloss import LogDistancePathLoss
-from repro.channel.geometry import ConferenceRoom, Placement
 from repro.channel.timevarying import (
     GaussMarkovFader,
     JakesFader,
     TimeVaryingLinkChannel,
     channel_correlation,
 )
-from repro.channel.medium import Medium, Transmission
 
 __all__ = [
     "Oscillator",

@@ -8,8 +8,8 @@ reproduces that procedure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

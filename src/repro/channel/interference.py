@@ -20,7 +20,6 @@ its links first (an interferer is just another transmitter).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -15,7 +15,7 @@ beamforming — and additive white Gaussian noise at the receiver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

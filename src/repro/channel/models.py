@@ -13,7 +13,7 @@ time variation that matters — oscillator rotation — lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

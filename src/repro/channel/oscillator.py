@@ -96,7 +96,7 @@ class Oscillator:
         """Wiener phase-noise value at the given absolute times (>= 0)."""
         times = np.atleast_1d(np.asarray(times, dtype=float))
         require(bool(np.all(times >= 0.0)), "oscillator times must be >= 0")
-        if self._sigma_step == 0.0:
+        if self._sigma_step == 0.0:  # repro: noqa[NUM001] exact zero = noise disabled
             return np.zeros_like(times)
         idx = times / self.GRID_DT
         hi = int(np.ceil(idx.max())) + 1

@@ -8,6 +8,7 @@
     python -m repro obs summarize out.jsonl
     python -m repro obs runs list
     python -m repro obs regress --baseline tests/data/regress_baseline.json
+    python -m repro lint --format json
 
 Every command prints the same tables the benchmark suite reports, so the
 CLI is the quickest way to poke at one experiment with custom parameters.
@@ -235,6 +236,16 @@ def _add_obs_parser(subparsers, common) -> None:
                     help="consider the last N bench runs (default 20)")
 
 
+def _add_lint_parser(subparsers, common) -> None:
+    from repro.analysis.cli import add_lint_arguments
+
+    p = subparsers.add_parser(
+        "lint", parents=[common],
+        help="AST-based determinism/numerics/obs linter (repro lint)",
+    )
+    add_lint_arguments(p)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -252,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report", parents=[common], help="regenerate all EXPERIMENTS.md tables"
     )
     _add_obs_parser(subparsers, common)
+    _add_lint_parser(subparsers, common)
     return parser
 
 
@@ -625,6 +637,10 @@ def _dispatch(args, ctx: RunContext) -> int:
         return _run_report()
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint_command
+
+        return run_lint_command(args)
     return 2  # unreachable: argparse enforces the choices
 
 

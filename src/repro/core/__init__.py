@@ -15,17 +15,17 @@ This package implements the paper's contribution proper:
 """
 
 from repro.core.beamforming import (
-    zero_forcing_precoder,
     diversity_precoder,
     effective_channel,
     sinr_after_beamforming,
     snr_reduction_from_misalignment,
+    zero_forcing_precoder,
 )
-from repro.core.phasesync import PhaseSynchronizer, ReferenceChannel, SyncObservation
-from repro.core.sounding import SoundingPlan, SoundingResult, interleaved_sounding_frame
-from repro.core.system import MegaMimoSystem, SystemConfig, JointTransmissionReport
 from repro.core.compat80211n import Compat80211nSounder, StitchedChannelEstimate
 from repro.core.decoupled import DecoupledChannelBook
+from repro.core.phasesync import PhaseSynchronizer, ReferenceChannel, SyncObservation
+from repro.core.sounding import SoundingPlan, SoundingResult, interleaved_sounding_frame
+from repro.core.system import JointTransmissionReport, MegaMimoSystem, SystemConfig
 
 __all__ = [
     "zero_forcing_precoder",

@@ -20,7 +20,7 @@ This module models that last hop:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -41,7 +41,7 @@ def quantize_csi(channels: np.ndarray, bits: int) -> np.ndarray:
         return channels.copy()
     scale = float(np.max(np.abs(np.concatenate([channels.real.ravel(),
                                                 channels.imag.ravel()]))))
-    if scale == 0.0:
+    if scale == 0.0:  # repro: noqa[NUM001] exact zero = all-zero input, avoid 0/0
         return channels.copy()
     levels = (1 << (bits - 1)) - 1  # signed fixed point
     step = scale / levels
@@ -58,7 +58,7 @@ def feedback_distortion_db(channels: np.ndarray, bits: int) -> float:
     quantized = quantize_csi(channels, bits)
     err = float(np.mean(np.abs(channels - quantized) ** 2))
     sig = float(np.mean(np.abs(channels) ** 2))
-    if err == 0.0:
+    if err == 0.0:  # repro: noqa[NUM001] exact zero = lossless quantization
         return float("inf")
     return float(linear_to_db(sig / err))
 

@@ -79,7 +79,9 @@ class SyncObservation:
     channel: np.ndarray
 
 
-def estimate_header_channel(header_samples: np.ndarray, lts_repeats: int = SYNC_HEADER_LTS_REPEATS) -> np.ndarray:
+def estimate_header_channel(
+    header_samples: np.ndarray, lts_repeats: int = SYNC_HEADER_LTS_REPEATS
+) -> np.ndarray:
     """Average LS channel estimates over the sync header's LTS copies.
 
     ``header_samples`` must be aligned to the header start (slave APs get

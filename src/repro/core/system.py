@@ -24,22 +24,16 @@ time — the §5.2b strawman), ``"none"`` and ``"oracle"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.channel.medium import Medium
-from repro.channel.models import ChannelModel, FlatRayleighChannel, LinkChannel
+from repro.channel.models import ChannelModel, FlatRayleighChannel
 from repro.channel.oscillator import Oscillator, OscillatorConfig
-from repro.constants import (
-    CP_LENGTH,
-    FFT_SIZE,
-    SAMPLE_RATE_USRP,
-    SYMBOL_LENGTH,
-)
-from repro.core.beamforming import zero_forcing_precoder, diversity_precoder
-from repro.obs import metrics, trace
+from repro.constants import CP_LENGTH, FFT_SIZE, SAMPLE_RATE_USRP, SYMBOL_LENGTH
+from repro.core.beamforming import diversity_precoder, zero_forcing_precoder
 from repro.core.phasesync import PhaseSynchronizer, SyncObservation
 from repro.core.sounding import (
     REFERENCE_OFFSET,
@@ -49,6 +43,7 @@ from repro.core.sounding import (
     estimate_single_ap,
     interleaved_sounding_frame,
 )
+from repro.obs import metrics, trace
 from repro.phy.cfo import apply_cfo, combine_cfo, estimate_cfo_coarse, estimate_cfo_fine
 from repro.phy.channel_est import average_channel_estimates, estimate_channel_lts
 from repro.phy.frame import DecodedFrame, FrameConfig, PhyFrameDecoder, PhyFrameEncoder

@@ -13,7 +13,7 @@ client corrupts only that client's stream; the others decode fine.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.mac.queue import DownlinkQueue, Packet

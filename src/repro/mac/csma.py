@@ -17,10 +17,9 @@ trigger persistent hidden-terminal losses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-import numpy as np
 
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import require

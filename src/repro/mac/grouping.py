@@ -22,7 +22,7 @@ Both are callables compatible with ``JointScheduler(grouping=...)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

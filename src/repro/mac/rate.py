@@ -19,7 +19,7 @@ performing a table lookup" (§9).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 from scipy.special import erfc, erfcinv

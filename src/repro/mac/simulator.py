@@ -16,14 +16,12 @@ abstract rate calculation:
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.channel.timevarying import TimeVaryingLinkChannel
-from repro.mac.backhaul import BackhaulConfig, EthernetBackhaul
 from repro.constants import (
     COHERENCE_TIME_S,
     MAC_EFFICIENCY,
@@ -32,14 +30,15 @@ from repro.constants import (
     SNR_BANDS_DB,
 )
 from repro.core.beamforming import zero_forcing_precoder_wideband
-from repro.mac.queue import DownlinkQueue, Packet
+from repro.mac.backhaul import EthernetBackhaul
+from repro.mac.queue import DownlinkQueue
 from repro.mac.rate import EffectiveSnrRateSelector
-from repro.obs import metrics, trace
 from repro.mac.scheduler import JointScheduler
-from repro.phy.mcs import ALL_MCS, Mcs
+from repro.obs import metrics, trace
+from repro.phy.mcs import Mcs
 from repro.sim.fastsim import SyncErrorModel
 from repro.sim.overhead import packet_airtime_s, sounding_airtime_s
-from repro.utils.rng import complex_normal, ensure_rng
+from repro.utils.rng import ensure_rng
 from repro.utils.units import db_to_linear, linear_to_db
 from repro.utils.validation import require
 

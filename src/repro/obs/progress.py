@@ -4,7 +4,7 @@ A 30-minute fig9 sweep used to be silent until it returned.  The engine
 (:mod:`repro.runtime.engine`) now drives a :class:`SweepProgress` tracker
 with chunk-granular completions; the tracker renders
 
-    fig9 [##########----------] 67/135 chunks  268/540 trials  41.2 trials/s  eta 7s  workers 4  retries 1
+    fig9 [####------] 67/135 chunks  268/540 trials  41.2 trials/s  eta 7s  workers 4  retries 1
 
 to stderr and mirrors every rendered update as a ``runtime.progress``
 trace event, so live state and post-hoc analysis see the same numbers.

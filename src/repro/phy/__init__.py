@@ -7,25 +7,20 @@ preamble generation (STS/LTS and the MegaMIMO sync header), packet framing,
 carrier-frequency-offset estimation and least-squares channel estimation.
 """
 
-from repro.phy.modulation import Modulation, get_modulation
-from repro.phy.ofdm import OfdmModulator, OfdmDemodulator
-from repro.phy.preamble import (
-    short_training_sequence,
-    long_training_sequence,
-    sync_header,
-    SYNC_HEADER_LTS_REPEATS,
-)
-from repro.phy.frame import PhyFrameEncoder, PhyFrameDecoder, FrameConfig
-from repro.phy.cfo import (
-    estimate_cfo_coarse,
-    estimate_cfo_fine,
-    apply_cfo,
-    CfoTracker,
-)
+from repro.phy.cfo import CfoTracker, apply_cfo, estimate_cfo_coarse, estimate_cfo_fine
 from repro.phy.channel_est import (
+    average_channel_estimates,
     estimate_channel_lts,
     rotate_channel_to_reference,
-    average_channel_estimates,
+)
+from repro.phy.frame import FrameConfig, PhyFrameDecoder, PhyFrameEncoder
+from repro.phy.modulation import Modulation, get_modulation
+from repro.phy.ofdm import OfdmDemodulator, OfdmModulator
+from repro.phy.preamble import (
+    SYNC_HEADER_LTS_REPEATS,
+    long_training_sequence,
+    short_training_sequence,
+    sync_header,
 )
 
 __all__ = [

@@ -9,7 +9,6 @@ anyone poking at the signals interactively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -101,7 +101,7 @@ class CfoTracker:
                 estimates) that deserve more trust than a raw header CFO.
         """
         measurement_hz = float(measurement_hz)
-        alpha = self.alpha if weight is None else float(weight)
+        alpha = self.alpha if weight is None else float(weight)  # repro: noqa[NUM003] EWMA scalar
         if self._estimate is None:
             self._estimate = measurement_hz
         else:

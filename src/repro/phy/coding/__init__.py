@@ -2,8 +2,8 @@
 scrambler — the 802.11a/g coding chain."""
 
 from repro.phy.coding.convolutional import ConvolutionalCode
-from repro.phy.coding.puncturing import Puncturer, PUNCTURE_PATTERNS
 from repro.phy.coding.interleaver import BlockInterleaver
+from repro.phy.coding.puncturing import PUNCTURE_PATTERNS, Puncturer
 from repro.phy.coding.scrambler import Scrambler
 
 __all__ = [

@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.constants import CP_LENGTH, FFT_SIZE
-from repro.phy.preamble import STS_PERIOD, long_training_sequence, short_training_sequence
+from repro.phy.preamble import STS_PERIOD, long_training_sequence
 
 
 @dataclass

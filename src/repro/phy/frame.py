@@ -13,14 +13,13 @@ success, which is what the link layer counts as a delivered packet.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.constants import SYMBOL_LENGTH
 from repro.phy.coding import BlockInterleaver, ConvolutionalCode, Puncturer, Scrambler
-from repro.phy.mcs import ALL_MCS, Mcs, get_mcs
+from repro.phy.mcs import Mcs, get_mcs
 from repro.phy.modulation import get_modulation
 from repro.phy.ofdm import OfdmDemodulator, OfdmModulator
 from repro.utils.validation import require

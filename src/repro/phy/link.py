@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.channel.medium import Medium
-from repro.constants import CP_LENGTH, FFT_SIZE, SYMBOL_LENGTH
+from repro.constants import FFT_SIZE, SYMBOL_LENGTH
 from repro.phy.cfo import apply_cfo, combine_cfo, estimate_cfo_coarse, estimate_cfo_fine
 from repro.phy.channel_est import average_channel_estimates, estimate_channel_lts
 from repro.phy.frame import DecodedFrame, FrameConfig, PhyFrameDecoder, PhyFrameEncoder

@@ -91,6 +91,6 @@ class AdcModel:
         out = self.digitize(samples)
         err = float(np.mean(np.abs(out - samples) ** 2))
         sig = float(np.mean(np.abs(samples) ** 2))
-        if err == 0.0:
+        if err == 0.0:  # repro: noqa[NUM001] exact zero = lossless digitization
             return float("inf")
         return float(linear_to_db(sig / err))

@@ -24,7 +24,7 @@ def apply_sfo(samples: np.ndarray, ppm: float) -> np.ndarray:
     is a few parts per million.
     """
     samples = np.asarray(samples, dtype=complex)
-    if samples.size == 0 or ppm == 0.0:
+    if samples.size == 0 or ppm == 0.0:  # repro: noqa[NUM001] exact zero = skew disabled
         return samples.copy()
     ratio = 1.0 + ppm * 1e-6
     positions = np.arange(samples.size) * ratio

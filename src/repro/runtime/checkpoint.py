@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import get_logger
 from repro.obs.events import jsonable
@@ -46,7 +46,7 @@ class CheckpointMismatch(ValueError):
 
 
 def sweep_header(
-    sweep: str, master_seed: int, chunk_size: int, cells
+    sweep: str, master_seed: int, chunk_size: int, cells: Sequence[Any]
 ) -> Dict[str, Any]:
     """The header record identifying one sweep configuration."""
     return {
@@ -119,7 +119,9 @@ class CheckpointWriter:
         self._file.write("\n")
         self._file.flush()
 
-    def append_chunk(self, cell_index: int, chunk_index: int, results) -> None:
+    def append_chunk(
+        self, cell_index: int, chunk_index: int, results: List[list]
+    ) -> None:
         self._write(
             {
                 "type": "chunk",

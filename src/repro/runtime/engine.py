@@ -39,7 +39,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs import get_logger, metrics, trace
 from repro.obs.events import jsonable
@@ -57,6 +57,9 @@ DEFAULT_CHUNK_SIZE = 4
 #: Environment marker set in pool workers (via the pool initializer), so
 #: kernels and tests can tell worker context from the parent process.
 WORKER_ENV_FLAG = "REPRO_RUNTIME_WORKER"
+
+#: One work item: ``(cell_index, chunk_index, start_trial, stop_trial)``.
+Task = Tuple[int, int, int, int]
 
 _CHUNKS_RUN = metrics.counter("runtime.chunks_run")
 _CHUNKS_RESUMED = metrics.counter("runtime.chunks_resumed")
@@ -112,7 +115,7 @@ class SweepResult:
         raise KeyError(key)
 
 
-def iter_chunks(n_trials: int, chunk_size: int):
+def iter_chunks(n_trials: int, chunk_size: int) -> Iterator[Tuple[int, int, int]]:
     """Yield ``(chunk_index, start, stop)`` covering every trial exactly once."""
     require(n_trials >= 0, "n_trials must be non-negative")
     require(chunk_size >= 1, "chunk_size must be >= 1")
@@ -136,7 +139,7 @@ def run_chunk(
     implementation, three call sites, so the equivalence tests compare
     scheduling only.
     """
-    out = []
+    out: List[list] = []
     for t in range(start, stop):
         seed = seed_sequence(master_seed, sweep, cell_index, t)
         out.append([t, jsonable(kernel(params, seed))])
@@ -242,7 +245,7 @@ def run_sweep(
         resumed_trials=sum(len(pairs) for pairs in completed.values()),
     )
 
-    def finish(task, results) -> None:
+    def finish(task: Task, results: List[list]) -> None:
         cell_index, chunk_index = task[0], task[1]
         completed[(cell_index, chunk_index)] = results
         _CHUNKS_RUN.inc()
@@ -286,12 +289,12 @@ def run_sweep(
 
 def _run_pool(
     name: str,
-    kernel,
+    kernel: Callable[[Any, Any], Any],
     cells: Sequence[CellSpec],
     master_seed: int,
     workers: int,
-    pending,
-    finish,
+    pending: Sequence[Task],
+    finish: Callable[[Task, List[list]], None],
     progress: Optional[SweepProgress] = None,
 ) -> int:
     """Dispatch chunks to a process pool; retry failures serially in-parent.

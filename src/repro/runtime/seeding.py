@@ -16,18 +16,20 @@ uniquely decodable, which is what the injectivity property test in
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from repro.utils.validation import require
 
 
-def _encode_name(name: str) -> tuple:
+def _encode_name(name: str) -> Tuple[int, ...]:
     """Length-prefixed byte encoding of the sweep name (uniquely decodable)."""
     data = name.encode("utf-8")
     return (len(data), *data)
 
 
-def spawn_key(sweep: str, cell_index: int, draw_index: int) -> tuple:
+def spawn_key(sweep: str, cell_index: int, draw_index: int) -> Tuple[int, ...]:
     """The ``SeedSequence`` spawn key of one (sweep, cell, draw) coordinate.
 
     Injective: two distinct coordinate triples never share a key, because

@@ -9,16 +9,12 @@ in the integration tests.  ``experiments`` has one runner per paper figure.
 from repro.sim.fastsim import (
     SyncErrorModel,
     build_channel_tensor,
-    joint_zf_sinr_db,
     diversity_snr_db,
     draw_band_snrs,
+    joint_zf_sinr_db,
 )
+from repro.sim.metrics import cdf_points, median_gain, summarize_throughput
 from repro.sim.network import NetworkScenario, ScenarioConfig
-from repro.sim.metrics import (
-    cdf_points,
-    median_gain,
-    summarize_throughput,
-)
 
 __all__ = [
     "SyncErrorModel",

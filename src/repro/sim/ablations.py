@@ -17,12 +17,12 @@ Each runner isolates one mechanism of the paper's design:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.channel.models import RicianChannel
-from repro.constants import CP_LENGTH, FFT_SIZE, SAMPLE_RATE_USRP, SYMBOL_LENGTH
+from repro.constants import CP_LENGTH, FFT_SIZE, SAMPLE_RATE_USRP
 from repro.core.sounding import (
     REFERENCE_OFFSET,
     SoundingPlan,
@@ -395,7 +395,7 @@ def run_cfo_averaging_ablation(
     Uses raw within-header CFO measurements only (the long-baseline
     cross-header refinement is disabled) to isolate the averaging effect.
     """
-    from repro.core.phasesync import PhaseSynchronizer, estimate_header_cfo
+    from repro.core.phasesync import estimate_header_cfo
 
     rng = ensure_rng(seed)
     alphas = np.asarray(list(alphas), dtype=float)

@@ -18,12 +18,12 @@ stateful full-waveform systems, not wide trial grids.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.channel.models import RicianChannel
+from repro.channel.models import RicianChannel, random_channel_matrix
 from repro.constants import (
     CP_LENGTH,
     FFT_SIZE,
@@ -33,13 +33,9 @@ from repro.constants import (
     SNR_BANDS_DB,
     SYMBOL_LENGTH,
 )
-from repro.channel.models import random_channel_matrix
-from repro.core.beamforming import (
-    snr_reduction_from_misalignment,
-    zero_forcing_precoder_wideband,
-)
-from repro.core.system import MegaMimoSystem, SystemConfig
+from repro.core.beamforming import snr_reduction_from_misalignment, zero_forcing_precoder_wideband
 from repro.core.sounding import REFERENCE_OFFSET
+from repro.core.system import MegaMimoSystem, SystemConfig
 from repro.mac.rate import EffectiveSnrRateSelector
 from repro.obs import trace
 from repro.phy.channel_est import estimate_channel_lts

@@ -24,10 +24,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel.models import ChannelModel, RicianChannel
-from repro.core.beamforming import (
-    zero_forcing_precoder,
-    zero_forcing_precoder_wideband,
-)
+from repro.core.beamforming import zero_forcing_precoder_wideband
 from repro.obs import metrics
 from repro.utils.rng import complex_normal, ensure_rng
 from repro.utils.units import db_to_linear, linear_to_db

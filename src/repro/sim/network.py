@@ -8,7 +8,7 @@ tensor or a full sample-level :class:`~repro.core.system.MegaMimoSystem`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

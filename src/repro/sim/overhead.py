@@ -23,18 +23,12 @@ re-sounding interval, exposing the optimum the paper's design targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.channel.timevarying import channel_correlation
-from repro.constants import (
-    COHERENCE_TIME_S,
-    MAC_EFFICIENCY,
-    PACKET_SIZE_BYTES,
-    SAMPLE_RATE_USRP,
-    SYMBOL_LENGTH,
-)
+from repro.constants import COHERENCE_TIME_S, MAC_EFFICIENCY, PACKET_SIZE_BYTES, SAMPLE_RATE_USRP
 from repro.core.sounding import SoundingPlan
 from repro.mac.rate import EffectiveSnrRateSelector
 from repro.sim.fastsim import build_channel_tensor, joint_zf_sinr_db

@@ -28,7 +28,7 @@ def generate_report() -> None:
     from repro.sim.overhead import run_overhead_experiment
     from repro.sim.theory import fit_gain_model, paper_implied_k_summary
 
-    t0 = time.time()
+    t0 = time.perf_counter()
     logger.info("regenerating all EXPERIMENTS.md tables (full scale)")
 
     _banner("Figure 6 — SNR reduction vs. phase misalignment")
@@ -100,4 +100,4 @@ def generate_report() -> None:
     for label, k in paper_implied_k_summary().items():
         print(f"  {label}: K = {k:.2f} dB")
 
-    print(f"\ntotal runtime: {time.time() - t0:.0f} s")
+    print(f"\ntotal runtime: {time.perf_counter() - t0:.0f} s")

@@ -20,11 +20,11 @@ selection can be sanity-checked against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.utils.units import db_to_linear, linear_to_db
+from repro.utils.units import db_to_linear
 from repro.utils.validation import require
 
 

@@ -7,10 +7,15 @@ made exactly reproducible by threading a single seed through the stack.
 
 from __future__ import annotations
 
+from typing import Tuple, Union
+
 import numpy as np
 
+#: Anything :func:`ensure_rng` can coerce into a ``numpy.random.Generator``.
+RngLike = Union[None, int, np.integer, np.random.SeedSequence, np.random.Generator]
 
-def ensure_rng(rng=None) -> np.random.Generator:
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     """Coerce ``rng`` into a ``numpy.random.Generator``.
 
     Accepts ``None`` (new unseeded generator), an integer seed, a
@@ -31,7 +36,11 @@ def ensure_rng(rng=None) -> np.random.Generator:
     )
 
 
-def complex_normal(rng: np.random.Generator, shape, scale: float = 1.0) -> np.ndarray:
+def complex_normal(
+    rng: np.random.Generator,
+    shape: Union[int, Tuple[int, ...]],
+    scale: float = 1.0,
+) -> np.ndarray:
     """Draw circularly-symmetric complex Gaussians with E[|x|^2] = scale**2."""
     sigma = scale / np.sqrt(2.0)
     return rng.normal(0.0, sigma, shape) + 1j * rng.normal(0.0, sigma, shape)

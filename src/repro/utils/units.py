@@ -2,47 +2,50 @@
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
+import numpy.typing as npt
 
 
-def db_to_linear(db):
+def db_to_linear(db: npt.ArrayLike) -> np.ndarray:
     """Convert a power ratio from decibels to linear scale."""
     return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
 
 
-def linear_to_db(linear):
+def linear_to_db(linear: npt.ArrayLike) -> np.ndarray:
     """Convert a linear power ratio to decibels.
 
     Zero or negative inputs map to ``-inf`` rather than raising, matching
     the convention of signal-strength meters.
     """
-    linear = np.asarray(linear, dtype=float)
+    values = np.asarray(linear, dtype=float)
     with np.errstate(divide="ignore"):
-        return 10.0 * np.log10(linear)
+        return 10.0 * np.log10(values)
 
 
-def dbm_to_watts(dbm):
+def dbm_to_watts(dbm: npt.ArrayLike) -> np.ndarray:
     """Convert power in dBm to watts."""
     return np.power(10.0, (np.asarray(dbm, dtype=float) - 30.0) / 10.0)
 
 
-def watts_to_dbm(watts):
+def watts_to_dbm(watts: npt.ArrayLike) -> np.ndarray:
     """Convert power in watts to dBm."""
-    watts = np.asarray(watts, dtype=float)
+    values = np.asarray(watts, dtype=float)
     with np.errstate(divide="ignore"):
-        return 10.0 * np.log10(watts) + 30.0
+        return 10.0 * np.log10(values) + 30.0
 
 
-def wrap_phase(phase):
+def wrap_phase(phase: npt.ArrayLike) -> Union[float, np.ndarray]:
     """Wrap an angle (radians) into (-pi, pi]."""
-    phase = np.asarray(phase, dtype=float)
-    wrapped = np.angle(np.exp(1j * phase))
-    if np.isscalar(phase) or phase.ndim == 0:
+    values = np.asarray(phase, dtype=float)
+    wrapped = np.angle(np.exp(1j * values))
+    if values.ndim == 0:
         return float(wrapped)
     return wrapped
 
 
-def ppm_to_hz(ppm, reference_hz):
+def ppm_to_hz(ppm: float, reference_hz: float) -> float:
     """Convert a parts-per-million clock offset into an absolute Hz offset.
 
     An 802.11 oscillator at 2.4 GHz with a 20 ppm tolerance may be off by

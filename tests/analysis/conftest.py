@@ -1,0 +1,49 @@
+"""Shared helpers for the repro-lint analyzer tests.
+
+Fixture snippets live flat under ``fixtures/<rule>/{flagged,clean}.py``;
+:func:`install_fixture` copies one into a temporary tree at the package
+location where the rule applies (path-scoped rules like DET003 only fire
+inside kernel packages), so tests exercise the real module-name scoping
+logic rather than bypassing it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Where each rule's fixture is installed inside the synthetic tree — the
+#: package the rule is scoped to (or any kernel package when unscoped).
+FIXTURE_DEST = {
+    "DET001": "src/repro/core/fixture_mod.py",
+    "DET002": "src/repro/channel/fixture_mod.py",
+    "DET003": "src/repro/phy/fixture_mod.py",
+    "DET004": "src/repro/phy/fixture_mod.py",
+    "RNG001": "src/repro/mac/fixture_mod.py",
+    "NUM001": "src/repro/core/fixture_mod.py",
+    "NUM002": "src/repro/core/fixture_mod.py",
+    "NUM003": "src/repro/core/fixture_mod.py",
+    "OBS001": "src/repro/sim/fixture_mod.py",
+    "OBS002": "src/repro/sim/fixture_mod.py",
+}
+
+
+def fixture_source(rule_id: str, kind: str) -> Path:
+    """Path of the committed fixture snippet for one rule."""
+    return FIXTURES_DIR / rule_id.lower() / f"{kind}.py"
+
+
+@pytest.fixture
+def install_fixture(tmp_path):
+    """Copy a rule fixture into a synthetic tree; returns the tree root."""
+
+    def _install(rule_id: str, kind: str, dest: str = None) -> Path:
+        relative = dest or FIXTURE_DEST[rule_id]
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(fixture_source(rule_id, kind).read_text())
+        return tmp_path
+
+    return _install

@@ -1,0 +1,11 @@
+"""Generator-API RNG threading (clean for DET001)."""
+
+import numpy as np
+
+
+def draw_channel_taps(rng: np.random.Generator, n: int):
+    return rng.normal(size=n)
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)

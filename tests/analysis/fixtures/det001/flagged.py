@@ -1,0 +1,8 @@
+"""Legacy global-state numpy RNG calls (flagged: DET001)."""
+
+import numpy as np
+
+
+def draw_channel_taps(n: int):
+    np.random.seed(1234)
+    return np.random.randn(n)

@@ -1,0 +1,10 @@
+"""Seed-derived generator construction (clean for DET002)."""
+
+import numpy as np
+
+from repro.runtime.seeding import seed_sequence
+
+
+def sample_noise(seed: int, n: int):
+    rng = np.random.default_rng(seed_sequence(seed, "noise", 0, 0))
+    return rng.normal(size=n)

@@ -1,0 +1,8 @@
+"""Unseeded generator construction (flagged: DET002)."""
+
+import numpy as np
+
+
+def sample_noise(n: int):
+    rng = np.random.default_rng()
+    return rng.normal(size=n)

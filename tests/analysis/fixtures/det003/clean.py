@@ -1,0 +1,5 @@
+"""Threaded generator draws (clean for DET003)."""
+
+
+def pick_pilot_symbol(rng, symbols):
+    return symbols[rng.integers(0, len(symbols))]

@@ -1,0 +1,7 @@
+"""Stdlib random inside a kernel package (flagged: DET003)."""
+
+import random
+
+
+def pick_pilot_symbol(symbols):
+    return random.choice(symbols)

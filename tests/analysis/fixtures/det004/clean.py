@@ -1,0 +1,9 @@
+"""Monotonic duration timing (clean for DET004)."""
+
+import time
+
+
+def measure(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

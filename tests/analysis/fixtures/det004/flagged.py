@@ -1,0 +1,8 @@
+"""Wall-clock reads inside a kernel package (flagged: DET004)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_frame(payload: bytes):
+    return {"payload": payload, "t": time.time(), "day": datetime.now()}

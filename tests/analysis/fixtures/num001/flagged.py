@@ -1,0 +1,9 @@
+"""Exact float equality (flagged: NUM001)."""
+
+
+def gains_converged(gain_db: float, previous_db: float) -> bool:
+    return gain_db - previous_db == 0.0
+
+
+def off_nominal(snr_db: float) -> bool:
+    return snr_db != 25.0

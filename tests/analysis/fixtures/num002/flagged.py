@@ -1,0 +1,8 @@
+"""Deprecated np.matrix (flagged: NUM002)."""
+
+import numpy as np
+
+
+def gram(h):
+    m = np.matrix(h)
+    return m.H * m

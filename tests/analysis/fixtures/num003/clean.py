@@ -1,0 +1,15 @@
+"""Explicit magnitude/phase reads and paired I/Q splits (clean for NUM003)."""
+
+import numpy as np
+
+
+def channel_power(channels: np.ndarray) -> float:
+    return float(np.sum(np.abs(channels) ** 2))
+
+
+def channel_phase(h: np.ndarray) -> np.ndarray:
+    return np.angle(h)
+
+
+def serialize_iq(precoder: np.ndarray) -> np.ndarray:
+    return np.stack([precoder.real, precoder.imag])

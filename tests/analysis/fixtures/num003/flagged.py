@@ -1,0 +1,15 @@
+"""Silent complex->real casts on channel values (flagged: NUM003)."""
+
+import numpy as np
+
+
+def channel_power(channels: np.ndarray) -> float:
+    return float(np.sum(channels.real ** 2))
+
+
+def precoder_gain(precoder: np.ndarray):
+    return np.real(precoder).sum()
+
+
+def first_tap(h: np.ndarray) -> float:
+    return float(h[0])

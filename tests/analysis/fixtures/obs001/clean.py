@@ -1,0 +1,8 @@
+"""Context-managed spans (clean for OBS001)."""
+
+from repro.obs import trace
+
+
+def run_step():
+    with trace.span("sim.step", n=1) as sp:
+        sp.record(ok=True)

@@ -1,0 +1,8 @@
+"""Span opened outside `with` (flagged: OBS001)."""
+
+from repro.obs import trace
+
+
+def run_step():
+    span = trace.span("sim.step")
+    span.record(ok=True)

@@ -1,0 +1,7 @@
+"""Convention-following metric names (clean for OBS002)."""
+
+from repro.obs import metrics
+
+RETRIES = metrics.counter("sim.arq.retries")
+DEPTH = metrics.gauge("sim.queue_depth")
+LATENCY = metrics.histogram("sim.latency_s")

@@ -1,0 +1,6 @@
+"""Metric names off the dotted.name convention (flagged: OBS002)."""
+
+from repro.obs import metrics
+
+RETRIES = metrics.counter("Retries")
+DEPTH = metrics.gauge("queue depth")

@@ -1,0 +1,8 @@
+"""Threaded rng discipline (clean for RNG001)."""
+
+from repro.utils.rng import ensure_rng
+
+
+def corrupt_estimates(rng, n: int):
+    rng = ensure_rng(rng)
+    return rng.normal(size=n)

@@ -1,0 +1,8 @@
+"""Re-derived generator despite an rng parameter (flagged: RNG001)."""
+
+import numpy as np
+
+
+def corrupt_estimates(rng: np.random.Generator, n: int):
+    local = np.random.default_rng(42)
+    return local.normal(size=n) + rng.normal(size=n)

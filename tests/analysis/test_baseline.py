@@ -1,0 +1,115 @@
+"""Baseline round-trip, gating, and fingerprint-stability tests."""
+
+import json
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _tree(tmp_path, body):
+    mod = tmp_path / "src" / "repro" / "core" / "mod.py"
+    mod.parent.mkdir(parents=True, exist_ok=True)
+    mod.write_text(body)
+    return tmp_path
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = load_baseline(tmp_path / "absent.json")
+    assert len(baseline) == 0
+
+
+def test_round_trip(tmp_path):
+    tree = _tree(tmp_path, "ok = x == 0.5\n")
+    report = run_lint([tree], root=tree)
+    path = tmp_path / "baseline.json"
+    write_baseline(path, report)
+    baseline = load_baseline(path)
+    assert len(baseline) == 1
+    result = compare(report, baseline)
+    assert result.new == []
+    assert len(result.accepted) == 1
+    assert result.stale == []
+
+
+def test_new_violation_detected_against_baseline(tmp_path):
+    tree = _tree(tmp_path, "ok = x == 0.5\n")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, run_lint([tree], root=tree))
+
+    _tree(tmp_path, "ok = x == 0.5\nbad = y != 0.25\n")
+    result = compare(run_lint([tree], root=tree), load_baseline(path))
+    assert len(result.new) == 1
+    assert result.new[0].line == 2
+
+
+def test_stale_entries_reported(tmp_path):
+    tree = _tree(tmp_path, "ok = x == 0.5\n")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, run_lint([tree], root=tree))
+
+    _tree(tmp_path, "ok = True\n")
+    result = compare(run_lint([tree], root=tree), load_baseline(path))
+    assert result.new == []
+    assert len(result.stale) == 1
+
+
+def test_fingerprint_stable_across_line_shift(tmp_path):
+    tree = _tree(tmp_path, "ok = x == 0.5\n")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, run_lint([tree], root=tree))
+
+    # Same violation text, pushed down by unrelated edits above it.
+    _tree(tmp_path, "import numpy\n\n\nok = x == 0.5\n")
+    result = compare(run_lint([tree], root=tree), load_baseline(path))
+    assert result.new == []
+    assert len(result.accepted) == 1
+
+
+def test_duplicate_lines_get_occurrence_indices(tmp_path):
+    tree = _tree(tmp_path, "ok = x == 0.5\nok = x == 0.5\n")
+    report = run_lint([tree], root=tree)
+    fingerprints = [fp for _, fp in report.fingerprints()]
+    assert len(fingerprints) == 2
+    assert len(set(fingerprints)) == 2
+
+    path = tmp_path / "baseline.json"
+    write_baseline(path, report)
+    result = compare(run_lint([tree], root=tree), load_baseline(path))
+    assert result.new == []
+    assert len(result.accepted) == 2
+
+
+def test_rejects_wrong_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": {}}))
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+def test_rejects_malformed_shape(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": ["nope"]}))
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+def test_rejects_invalid_json(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+def test_empty_baseline_accepts_clean_report(tmp_path):
+    tree = _tree(tmp_path, "ok = True\n")
+    result = compare(run_lint([tree], root=tree), Baseline())
+    assert result.new == []
+    assert result.stale == []

@@ -1,0 +1,126 @@
+"""Exit codes, baseline flow, output formats, and main-CLI wiring."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.cli import (
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VIOLATIONS,
+    build_parser,
+    run_lint_command,
+)
+from repro.cli import main as repro_main
+
+
+def _run(argv, stream=None):
+    args = build_parser().parse_args(argv)
+    return run_lint_command(args, stream=stream)
+
+
+def _write(tmp_path, relative, body):
+    target = tmp_path / relative
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(body)
+    return target
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(workdir):
+    _write(workdir, "src/repro/core/mod.py", "ok = True\n")
+    assert _run(["src"]) == EXIT_OK
+
+
+def test_new_error_exits_one(workdir):
+    _write(workdir, "src/repro/core/mod.py", "ok = x == 0.5\n")
+    assert _run(["src"]) == EXIT_VIOLATIONS
+
+
+def test_missing_path_exits_two(workdir):
+    assert _run(["no/such/dir"]) == EXIT_USAGE
+
+
+def test_corrupt_baseline_exits_two(workdir):
+    _write(workdir, "src/repro/core/mod.py", "ok = True\n")
+    _write(workdir, "base.json", "{not json")
+    assert _run(["src", "--baseline", "base.json"]) == EXIT_USAGE
+
+
+def test_update_baseline_then_gate_passes(workdir):
+    _write(workdir, "src/repro/core/mod.py", "ok = x == 0.5\n")
+    assert _run(["src"]) == EXIT_VIOLATIONS
+    assert (
+        _run(["src", "--baseline", "base.json", "--update-baseline"])
+        == EXIT_OK
+    )
+    assert _run(["src", "--baseline", "base.json"]) == EXIT_OK
+
+    # A *second* violation still fails: the baseline froze only the first.
+    _write(
+        workdir, "src/repro/core/mod.py", "ok = x == 0.5\nbad = y != 0.25\n"
+    )
+    assert _run(["src", "--baseline", "base.json"]) == EXIT_VIOLATIONS
+
+
+def test_no_baseline_ignores_frozen_debt(workdir):
+    _write(workdir, "src/repro/core/mod.py", "ok = x == 0.5\n")
+    _run(["src", "--baseline", "base.json", "--update-baseline"])
+    assert (
+        _run(["src", "--baseline", "base.json", "--no-baseline"])
+        == EXIT_VIOLATIONS
+    )
+
+
+def test_warning_gates_only_under_strict(workdir):
+    # NUM003 (complex->real cast) is WARNING severity.
+    _write(workdir, "src/repro/core/mod.py", "def f(h):\n    return h.real\n")
+    assert _run(["src"]) == EXIT_OK
+    assert _run(["src", "--strict"]) == EXIT_VIOLATIONS
+
+
+def test_json_report_shape(workdir):
+    _write(workdir, "src/repro/core/mod.py", "ok = x == 0.5\n")
+    stream = io.StringIO()
+    code = _run(["src", "--format", "json"], stream=stream)
+    assert code == EXIT_VIOLATIONS
+    payload = json.loads(stream.getvalue())
+    assert payload["files_checked"] == 1
+    assert payload["counts"] == {"new": 1, "accepted": 0, "stale": 0}
+    (violation,) = payload["violations"]
+    assert violation["rule"] == "NUM001"
+    assert violation["new"] is True
+    assert len(violation["fingerprint"]) == 16
+
+
+def test_text_report_mentions_stale_entries(workdir):
+    _write(workdir, "src/repro/core/mod.py", "ok = x == 0.5\n")
+    _run(["src", "--baseline", "base.json", "--update-baseline"])
+    _write(workdir, "src/repro/core/mod.py", "ok = True\n")
+    stream = io.StringIO()
+    assert _run(["src", "--baseline", "base.json"], stream=stream) == EXIT_OK
+    assert "stale" in stream.getvalue()
+
+
+def test_list_rules(workdir):
+    stream = io.StringIO()
+    assert _run(["--list-rules"], stream=stream) == EXIT_OK
+    out = stream.getvalue()
+    for rule_id in ("DET001", "RNG001", "NUM001", "OBS001"):
+        assert rule_id in out
+
+
+def test_repro_cli_lint_subcommand(workdir, capsys):
+    """`repro lint` routes through the main CLI to the same implementation."""
+    _write(workdir, "src/repro/core/mod.py", "ok = x == 0.5\n")
+    assert repro_main(["lint", "--list-rules"]) == EXIT_OK
+    assert "DET001" in capsys.readouterr().out
+    assert repro_main(["lint", "src"]) == EXIT_VIOLATIONS
+    _write(workdir, "src/repro/core/mod.py", "ok = True\n")
+    assert repro_main(["lint", "src"]) == EXIT_OK

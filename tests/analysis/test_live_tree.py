@@ -1,0 +1,42 @@
+"""Meta-test: the real src/ tree stays clean modulo the committed baseline.
+
+This is the same gate CI runs (``repro lint --strict``); keeping it in the
+test suite means a plain ``pytest`` run catches new determinism/numerics
+violations even before the lint job does.
+"""
+
+import json
+
+from repro.analysis import run_lint
+from repro.analysis.baseline import compare, load_baseline
+from repro.analysis.cli import DEFAULT_BASELINE, EXIT_OK, main
+
+from tests.analysis.conftest import REPO_ROOT
+
+BASELINE_PATH = REPO_ROOT / DEFAULT_BASELINE
+
+
+def test_live_src_tree_clean_modulo_baseline():
+    report = run_lint([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert report.files_checked > 50  # sanity: we really scanned the tree
+    result = compare(report, load_baseline(BASELINE_PATH))
+    new = [v.format() for v in result.new]
+    assert new == [], "new lint violations in src/:\n" + "\n".join(new)
+    stale = [e["fingerprint"] for e in result.stale]
+    assert stale == [], (
+        "stale baseline entries (run `repro lint --update-baseline`): "
+        f"{stale}"
+    )
+
+
+def test_committed_baseline_is_valid_and_current_format():
+    data = json.loads(BASELINE_PATH.read_text())
+    assert data["version"] == 1
+    assert isinstance(data["entries"], dict)
+
+
+def test_cli_default_invocation_from_repo_root(monkeypatch, capsys):
+    """`python -m repro.analysis` with no args exits 0 at the repo root."""
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["--strict"]) == EXIT_OK
+    assert "0 new" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""Registry invariants: ids, severities, and duplicate rejection."""
+
+import pytest
+
+from repro.analysis.registry import Rule, all_rules, register, rule_ids
+from repro.analysis.violations import Severity
+from tests.analysis.conftest import fixture_source
+
+
+def test_rule_ids_unique_and_sorted():
+    ids = rule_ids()
+    assert ids == sorted(ids)
+    assert len(ids) == len(set(ids))
+
+
+def test_every_rule_is_well_formed():
+    for rule in all_rules():
+        assert rule.id.isalnum() and rule.id.isupper()
+        assert isinstance(rule.severity, Severity)
+        assert rule.family
+        assert rule.summary
+
+
+def test_every_rule_has_both_fixtures_on_disk():
+    for rule_id in rule_ids():
+        for kind in ("flagged", "clean"):
+            path = fixture_source(rule_id, kind)
+            assert path.is_file(), f"missing fixture {path}"
+            assert path.read_text().strip(), f"empty fixture {path}"
+
+
+def test_register_rejects_duplicate_id():
+    existing = rule_ids()[0]
+    with pytest.raises(ValueError):
+
+        @register
+        class Duplicate(Rule):  # pragma: no cover - never instantiated
+            id = existing
+            family = "test"
+            severity = Severity.ERROR
+            summary = "duplicate id for the registry test"
+
+
+def test_register_rejects_malformed_id():
+    with pytest.raises(ValueError):
+
+        @register
+        class BadId(Rule):  # pragma: no cover - never instantiated
+            id = "not-an-id!"
+            family = "test"
+            severity = Severity.ERROR
+            summary = "malformed id for the registry test"

@@ -1,0 +1,160 @@
+"""Fixture-driven rule tests: every rule has a flagged and a clean snippet."""
+
+import pytest
+
+from repro.analysis import all_rules, parse_snippet, rule_ids, run_lint
+from tests.analysis.conftest import FIXTURE_DEST
+
+RULES = {rule.id: rule for rule in all_rules()}
+
+
+def _rules_hit(tree):
+    report = run_lint([tree], root=tree)
+    return sorted({v.rule for v in report.violations})
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURE_DEST))
+def test_flagged_fixture_fires(install_fixture, rule_id):
+    tree = install_fixture(rule_id, "flagged")
+    assert rule_id in _rules_hit(tree)
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURE_DEST))
+def test_clean_fixture_is_silent(install_fixture, rule_id):
+    tree = install_fixture(rule_id, "clean")
+    report = run_lint([tree], root=tree)
+    assert report.violations == []
+
+
+def test_every_registered_rule_is_fixture_covered():
+    """Meta-test: shipping a rule without fixtures fails the suite."""
+    assert sorted(FIXTURE_DEST) == rule_ids()
+
+
+def _check(rule_id, text, module="repro.core.snippet"):
+    src = parse_snippet(text, module=module)
+    return list(RULES[rule_id].check(src))
+
+
+class TestAliasResolution:
+    """Rules match semantic targets, not surface spellings."""
+
+    def test_det001_through_plain_import(self):
+        assert _check("DET001", "import numpy\nnumpy.random.shuffle([1])\n")
+
+    def test_det001_through_submodule_alias(self):
+        assert _check("DET001", "import numpy.random as nr\nnr.rand(3)\n")
+
+    def test_det001_through_from_import(self):
+        assert _check("DET001", "from numpy import random\nrandom.seed(0)\n")
+
+    def test_det003_not_confused_by_numpy_random(self):
+        # `from numpy import random` resolves to numpy.random, which is
+        # DET001 territory, never stdlib-random (DET003).
+        text = "from numpy import random\nrandom.seed(0)\n"
+        assert not _check("DET003", text, module="repro.phy.snippet")
+
+    def test_generator_methods_not_flagged(self):
+        assert not _check("DET001", "def f(rng):\n    return rng.normal(3)\n")
+
+
+class TestScoping:
+    """Path-scoped rules only fire inside the packages they guard."""
+
+    def test_det003_allowlists_obs(self, install_fixture):
+        tree = install_fixture("DET003", "flagged", dest="src/repro/obs/mod.py")
+        assert "DET003" not in _rules_hit(tree)
+
+    def test_det004_allowlists_obs(self, install_fixture):
+        tree = install_fixture("DET004", "flagged", dest="src/repro/obs/mod.py")
+        assert "DET004" not in _rules_hit(tree)
+
+    def test_det004_allowlists_cli(self, install_fixture):
+        tree = install_fixture("DET004", "flagged", dest="src/repro/cli.py")
+        assert "DET004" not in _rules_hit(tree)
+
+    def test_det002_allowlists_rng_plumbing(self, install_fixture):
+        tree = install_fixture("DET002", "flagged", dest="src/repro/utils/rng.py")
+        assert "DET002" not in _rules_hit(tree)
+
+    def test_rng001_allowlists_seeding(self, install_fixture):
+        tree = install_fixture(
+            "RNG001", "flagged", dest="src/repro/runtime/seeding.py"
+        )
+        assert "RNG001" not in _rules_hit(tree)
+
+    def test_det001_applies_outside_repro_packages(self, install_fixture):
+        tree = install_fixture("DET001", "flagged", dest="scripts/tool.py")
+        assert "DET001" in _rules_hit(tree)
+
+
+class TestRuleDetails:
+    def test_det002_seeded_via_keyword_is_clean(self):
+        text = "import numpy as np\nrng = np.random.default_rng(seed=7)\n"
+        assert not _check("DET002", text)
+
+    def test_num001_one_report_per_comparison_chain(self):
+        hits = _check("NUM001", "ok = 1.0 == x == 2.0\n")
+        assert len(hits) == 1
+
+    def test_num003_unpaired_real_read_is_flagged(self):
+        assert _check("NUM003", "def f(h):\n    return h.real\n")
+
+    def test_num003_paired_iq_split_is_clean(self):
+        text = "def f(h):\n    return (h.real, h.imag)\n"
+        assert not _check("NUM003", text)
+
+    def test_obs001_span_in_with_is_clean(self):
+        text = (
+            "from repro.obs import trace\n"
+            "with trace.span('a.b') as sp:\n    sp.record(x=1)\n"
+        )
+        assert not _check("OBS001", text)
+
+    def test_obs002_dynamic_names_are_skipped(self):
+        text = (
+            "from repro.obs import metrics\n"
+            "def f(name):\n    return metrics.counter(name)\n"
+        )
+        assert not _check("OBS002", text)
+
+    def test_syntax_error_becomes_violation(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n")
+        report = run_lint([tmp_path], root=tmp_path)
+        assert [v.rule for v in report.violations] == ["SYN001"]
+
+
+class TestNoqa:
+    def test_targeted_noqa_suppresses(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "core" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("ok = x == 0.5  # repro: noqa[NUM001]\n")
+        report = run_lint([tmp_path], root=tmp_path)
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "core" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "import numpy as np\nnp.random.seed(0)  # repro: noqa\n"
+        )
+        report = run_lint([tmp_path], root=tmp_path)
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_mismatched_noqa_does_not_suppress(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "core" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("ok = x == 0.5  # repro: noqa[DET001]\n")
+        report = run_lint([tmp_path], root=tmp_path)
+        assert [v.rule for v in report.violations] == ["NUM001"]
+
+    def test_noqa_inside_string_literal_is_inert(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "core" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text('msg = "# repro: noqa[NUM001]"\nok = x == 0.5\n')
+        report = run_lint([tmp_path], root=tmp_path)
+        assert [v.rule for v in report.violations] == ["NUM001"]

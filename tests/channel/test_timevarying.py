@@ -136,7 +136,9 @@ class TestTimeVaryingLink:
         from repro.channel.oscillator import Oscillator, OscillatorConfig
 
         m = Medium(10e6, noise_power=0.0, rng=0)
-        osc = lambda: Oscillator(OscillatorConfig(phase_noise_rad2_per_s=0.0))
+        def osc():
+            return Oscillator(OscillatorConfig(phase_noise_rad2_per_s=0.0))
+
         m.register_node("tx", osc())
         m.register_node("rx", osc())
         link = TimeVaryingLinkChannel.create(1.0, coherence_time_s=0.02, rng=7)

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.constants import FFT_SIZE
 from repro.core.phasesync import (
     NaiveCfoExtrapolator,
     PhaseSynchronizer,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.constants import CP_LENGTH, FFT_SIZE
+from repro.constants import FFT_SIZE
 from repro.core.sounding import (
     CFO_BLOCK_LENGTH,
     REFERENCE_OFFSET,

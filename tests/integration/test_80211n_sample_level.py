@@ -2,8 +2,6 @@
 two 2-antenna APs jointly serve two 2-antenna clients with 4 streams.
 """
 
-import numpy as np
-import pytest
 
 from repro import MegaMimoSystem, SystemConfig, get_mcs
 from repro.channel.models import RicianChannel

@@ -8,7 +8,6 @@ from repro import MegaMimoSystem, SystemConfig, get_mcs
 from repro.channel.models import RicianChannel
 from repro.phy.preamble import lts_grid
 from repro.sim.fastsim import joint_zf_sinr_db
-from repro.utils.units import linear_to_db
 
 
 class TestFastVsSampleLevel:

@@ -1,7 +1,6 @@
 """Detection-based (non-genie) receive path through the full system."""
 
 import numpy as np
-import pytest
 
 from repro import MegaMimoSystem, SystemConfig, get_mcs
 from repro.channel.models import RicianChannel

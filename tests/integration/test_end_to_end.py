@@ -1,7 +1,5 @@
 """Full-protocol integration tests on the sample-level simulator."""
 
-import numpy as np
-import pytest
 
 from repro import MegaMimoSystem, SystemConfig, get_mcs
 from repro.channel.models import MultipathChannel, RicianChannel

@@ -16,7 +16,6 @@ import os
 import signal
 
 import numpy as np
-import pytest
 
 from repro import MegaMimoSystem, SystemConfig, get_mcs
 from repro.channel.models import RicianChannel

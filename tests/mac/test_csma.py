@@ -1,6 +1,5 @@
 """Weighted contention (§9, [29])."""
 
-import numpy as np
 import pytest
 
 from repro.mac.csma import CsmaSimulator, Station

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.cli import main
 from repro.core.phasesync import PHASE_ERROR_BUDGET_P95_RAD

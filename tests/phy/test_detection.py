@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.constants import CP_LENGTH, FFT_SIZE
+from repro.constants import CP_LENGTH
 from repro.phy.detection import detect_packet, ideal_lts_offset, sts_autocorrelation
 from repro.phy.preamble import STS_PERIOD, sync_header
 

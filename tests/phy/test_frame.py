@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.phy.frame import (
-    DecodedFrame,
     FrameConfig,
     PhyFrameDecoder,
     PhyFrameEncoder,

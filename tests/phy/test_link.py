@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.channel.medium import Medium
-from repro.channel.models import LinkChannel, RicianChannel
+from repro.channel.models import RicianChannel
 from repro.channel.oscillator import Oscillator, OscillatorConfig
 from repro.phy.link import PointToPointLink
 from repro.phy.mcs import get_mcs

@@ -63,7 +63,8 @@ class TestRoundtrip:
         rng = np.random.default_rng(1)
         bits = rng.integers(0, 2, 120 * mod.bits_per_symbol).astype(np.uint8)
         symbols = mod.modulate(bits)
-        noisy = symbols + 0.01 * (rng.normal(size=symbols.size) + 1j * rng.normal(size=symbols.size))
+        noise = rng.normal(size=symbols.size) + 1j * rng.normal(size=symbols.size)
+        noisy = symbols + 0.01 * noise
         assert np.array_equal(mod.demodulate_hard(noisy), bits)
 
     def test_modulate_rejects_ragged_input(self):

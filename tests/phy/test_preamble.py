@@ -1,7 +1,6 @@
 """Training sequences and the MegaMIMO sync header."""
 
 import numpy as np
-import pytest
 
 from repro.constants import CP_LENGTH, FFT_SIZE
 from repro.phy.preamble import (

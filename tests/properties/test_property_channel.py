@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.channel.medium import fractional_delay
 from repro.channel.oscillator import Oscillator, OscillatorConfig
-from repro.mac.rate import ber_for_modulation, effective_snr_db, snr_for_ber
+from repro.mac.rate import ber_for_modulation, effective_snr_db
 from repro.utils.units import db_to_linear, linear_to_db, wrap_phase
 
 

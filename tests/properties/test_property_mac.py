@@ -1,7 +1,6 @@
 """Property-based tests of the link-layer invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mac.queue import DownlinkQueue

@@ -91,7 +91,6 @@ class TestSoundingPlanInvariants:
 
 
 class TestFeedbackSerializationProperties:
-    from hypothesis import strategies as _st
 
     @given(
         n_bins=st.integers(1, 64),

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.channel.models import RicianChannel
 from repro.sim.fastsim import (
     SyncErrorModel,
     build_channel_tensor,

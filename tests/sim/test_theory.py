@@ -1,6 +1,5 @@
 """The paper's §11.2 gain model."""
 
-import numpy as np
 import pytest
 
 from repro.sim.theory import (
