@@ -18,26 +18,45 @@ Quick start::
 
 See ``examples/`` for complete scenarios and ``repro.sim.experiments`` for
 the paper's evaluation figures.
+
+The re-exports below resolve lazily (PEP 562): ``import repro`` must stay
+dependency-free so runtime-free subpackages — ``repro.analysis``, which CI
+runs with only ruff installed — never drag in numpy/scipy through the
+package ``__init__``.
 """
 
-from repro.core.beamforming import diversity_precoder, zero_forcing_precoder
-from repro.core.phasesync import PhaseSynchronizer
-from repro.core.system import JointTransmissionReport, MegaMimoSystem, SystemConfig
-from repro.mac.rate import EffectiveSnrRateSelector
-from repro.phy.mcs import ALL_MCS, get_mcs, mcs_by_name
+from __future__ import annotations
+
+import importlib
+from typing import Any
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "MegaMimoSystem",
-    "SystemConfig",
-    "JointTransmissionReport",
-    "zero_forcing_precoder",
-    "diversity_precoder",
-    "PhaseSynchronizer",
-    "EffectiveSnrRateSelector",
-    "ALL_MCS",
-    "get_mcs",
-    "mcs_by_name",
-    "__version__",
-]
+#: Lazily resolved re-export -> defining module.
+_EXPORTS = {
+    "MegaMimoSystem": "repro.core.system",
+    "SystemConfig": "repro.core.system",
+    "JointTransmissionReport": "repro.core.system",
+    "zero_forcing_precoder": "repro.core.beamforming",
+    "diversity_precoder": "repro.core.beamforming",
+    "PhaseSynchronizer": "repro.core.phasesync",
+    "EffectiveSnrRateSelector": "repro.mac.rate",
+    "ALL_MCS": "repro.phy.mcs",
+    "get_mcs": "repro.phy.mcs",
+    "mcs_by_name": "repro.phy.mcs",
+}
+
+__all__ = [*_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: resolve each export at most once
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -27,7 +27,13 @@ from repro.analysis.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.analysis.engine import LintReport, lint_file, parse_snippet, run_lint
+from repro.analysis.engine import (
+    LintReport,
+    LintRootError,
+    lint_file,
+    parse_snippet,
+    run_lint,
+)
 from repro.analysis.registry import Rule, all_rules, register, rule_ids
 from repro.analysis.source import ImportMap, ModuleSource
 from repro.analysis.violations import Severity, Violation
@@ -38,6 +44,7 @@ __all__ = [
     "GateResult",
     "ImportMap",
     "LintReport",
+    "LintRootError",
     "ModuleSource",
     "Rule",
     "Severity",

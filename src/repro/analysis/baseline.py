@@ -87,9 +87,23 @@ def load_baseline(path: Path) -> Baseline:
     return Baseline(entries=dict(entries), path=str(path))
 
 
-def write_baseline(path: Path, report: LintReport) -> Baseline:
-    """Freeze every violation in ``report`` into the baseline at ``path``."""
+def write_baseline(
+    path: Path, report: LintReport, preserve: Optional[Baseline] = None
+) -> Baseline:
+    """Freeze every violation in ``report`` into the baseline at ``path``.
+
+    When ``preserve`` is given (a previously loaded baseline), entries for
+    files the report did *not* lint are carried over unchanged.  The CLI
+    uses this for ``--update-baseline`` with an explicit path subset, so
+    refreshing one file's debt never silently discards the frozen debt of
+    every unlinted file.
+    """
     entries: Dict[str, Dict[str, Any]] = {}
+    if preserve is not None:
+        linted = set(report.files)
+        for fingerprint, entry in preserve.entries.items():
+            if entry.get("path") not in linted:
+                entries[fingerprint] = dict(entry)
     for violation, fingerprint in report.fingerprints():
         entries[fingerprint] = {
             "rule": violation.rule,

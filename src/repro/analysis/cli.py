@@ -22,7 +22,7 @@ from typing import IO, List, Optional
 from repro.analysis import baseline as B
 from repro.analysis import engine
 from repro.analysis.registry import all_rules
-from repro.analysis.violations import Severity
+from repro.analysis.violations import Severity, Violation
 
 #: Where the committed debt-freeze lives (relative to the repo root).
 DEFAULT_BASELINE = "tests/data/lint_baseline.json"
@@ -56,11 +56,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--update-baseline", action="store_true",
-        help="freeze the current violations into --baseline and exit 0",
+        help="freeze the current violations into --baseline and exit 0 "
+             "(with explicit PATHs, entries for unlinted files are kept)",
     )
     parser.add_argument(
         "--strict", action="store_true",
-        help="fail on new WARNING-severity hits too (the CI setting)",
+        help="fail on new WARNING-severity hits too (the CI setting); "
+             "ADVICE-level heuristics never gate",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -77,20 +79,32 @@ def _format_rules() -> str:
     return "\n".join(lines)
 
 
+def gating_violations(
+    violations: List[Violation], strict: bool
+) -> List[Violation]:
+    """The subset of ``violations`` that fails the run.
+
+    ERROR always gates; WARNING gates only under ``--strict``; ADVICE
+    (name-heuristic rules like NUM003) never gates.
+    """
+    return [
+        v for v in violations
+        if v.severity is Severity.ERROR
+        or (strict and v.severity is Severity.WARNING)
+    ]
+
+
 def _text_report(
     result: B.GateResult, report: engine.LintReport, strict: bool,
     stream: IO[str],
 ) -> None:
     for violation in result.new:
         print(violation.format(), file=stream)
-    gating = [
-        v for v in result.new
-        if strict or v.severity is Severity.ERROR
-    ]
+    gating = gating_violations(result.new, strict)
     tolerated = len(result.new) - len(gating)
     print(
         f"repro lint: {report.files_checked} files, "
-        f"{len(result.new)} new ({len(gating)} gating, {tolerated} warnings), "
+        f"{len(result.new)} new ({len(gating)} gating, {tolerated} non-gating), "
         f"{len(result.accepted)} baselined, {len(result.stale)} stale "
         f"baseline entries, {report.suppressed} noqa-suppressed",
         file=stream,
@@ -146,14 +160,34 @@ def run_lint_command(
         )
         return EXIT_USAGE
 
-    report = engine.run_lint(paths)
+    try:
+        report = engine.run_lint(paths)
+    except engine.LintRootError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
     baseline_path = Path(args.baseline)
     if args.update_baseline:
-        frozen = B.write_baseline(baseline_path, report)
+        preserve: Optional[B.Baseline] = None
+        if args.paths:
+            # Explicit path subset: refresh only the linted files' entries
+            # and carry the frozen debt of every other file over unchanged.
+            try:
+                preserve = B.load_baseline(baseline_path)
+            except B.BaselineError as exc:
+                print(f"repro lint: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+        frozen = B.write_baseline(baseline_path, report, preserve=preserve)
+        kept = len(frozen) - sum(
+            1 for _, fp in report.fingerprints() if fp in frozen
+        )
+        scope = (
+            f" ({kept} entries outside the linted paths kept)"
+            if preserve is not None else ""
+        )
         print(
             f"baseline written to {baseline_path} "
-            f"({len(frozen)} frozen violations)", file=out,
+            f"({len(frozen)} frozen violations){scope}", file=out,
         )
         return EXIT_OK
 
@@ -172,10 +206,7 @@ def run_lint_command(
     else:
         _text_report(result, report, args.strict, out)
 
-    gating = [
-        v for v in result.new
-        if args.strict or v.severity is Severity.ERROR
-    ]
+    gating = gating_violations(result.new, args.strict)
     return EXIT_VIOLATIONS if gating else EXIT_OK
 
 

@@ -19,8 +19,17 @@ from repro.analysis.registry import Rule, all_rules
 from repro.analysis.source import ModuleSource, module_name_for
 from repro.analysis.violations import Severity, Violation
 
-#: Pseudo-rule id for files the parser rejects outright.
+#: Pseudo-rule id for files the parser rejects or that cannot be read.
 SYNTAX_RULE_ID = "SYN001"
+
+
+class LintRootError(ValueError):
+    """A linted path lies outside the lint root.
+
+    Fingerprints embed paths relative to the root; silently falling back to
+    an absolute path would make them machine-dependent and defeat the
+    baseline, so the engine refuses instead.
+    """
 
 
 @dataclass
@@ -30,6 +39,7 @@ class LintReport:
     violations: List[Violation] = field(default_factory=list)
     suppressed: int = 0  #: hits silenced by ``# repro: noqa`` comments
     files_checked: int = 0
+    files: List[str] = field(default_factory=list)  #: root-relative POSIX paths
 
     def by_severity(self, severity: Severity) -> List[Violation]:
         return [v for v in self.violations if v.severity is severity]
@@ -69,7 +79,11 @@ def _relative_posix(path: Path, root: Path) -> str:
     try:
         return path.resolve().relative_to(root.resolve()).as_posix()
     except ValueError:
-        return path.as_posix()
+        raise LintRootError(
+            f"{path} is outside the lint root {root}; run from the "
+            f"repository root (or pass root=) so baseline fingerprints "
+            f"stay machine-independent"
+        ) from None
 
 
 def lint_file(
@@ -77,11 +91,25 @@ def lint_file(
 ) -> Tuple[List[Violation], int]:
     """Run ``rules`` over one file; returns (violations, suppressed count).
 
-    A file that fails to parse produces a single :data:`SYNTAX_RULE_ID`
-    violation instead of aborting the run.
+    A file that fails to parse — or cannot be read at all (permissions,
+    non-UTF-8 bytes) — produces a single :data:`SYNTAX_RULE_ID` violation
+    instead of aborting the run.
     """
     rel = _relative_posix(path, root)
-    text = path.read_text(encoding="utf-8")
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Violation(
+                rule=SYNTAX_RULE_ID,
+                severity=Severity.ERROR,
+                path=rel,
+                line=1,
+                col=0,
+                message=f"file cannot be read: {exc}",
+                text="",
+            )
+        ], 0
     module = module_name_for(path.resolve().parts)
     try:
         src = ModuleSource.parse(rel, text, module=module)
@@ -124,6 +152,7 @@ def run_lint(
         report.violations.extend(violations)
         report.suppressed += suppressed
         report.files_checked += 1
+        report.files.append(_relative_posix(path, root))
     report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return report
 

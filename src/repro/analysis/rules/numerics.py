@@ -123,7 +123,10 @@ class ComplexToRealCast(Rule):
 
     id = "NUM003"
     family = "numerics"
-    severity = Severity.WARNING
+    # ADVICE, not WARNING: the name heuristic below matches legitimate
+    # real-valued identifiers (`weights`, a loop variable `h`), so this
+    # rule must never gate CI — not even under --strict.
+    severity = Severity.ADVICE
     summary = (
         ".real / float() on a channel/precoder value outside np.abs / "
         "np.angle (unpaired with .imag); drops phase silently"

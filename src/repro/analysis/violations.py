@@ -20,11 +20,15 @@ class Severity(enum.Enum):
 
     ``ERROR`` violations fail ``repro lint`` when they are not in the
     baseline; ``WARNING`` violations are reported but only fail the run
-    under ``--strict`` (the CI invocation).
+    under ``--strict`` (the CI invocation); ``ADVICE`` violations are
+    reported but never gate, even under ``--strict`` — the tier for name
+    heuristics whose false positives would otherwise force ``noqa``
+    comments onto legitimate code.
     """
 
     ERROR = "error"
     WARNING = "warning"
+    ADVICE = "advice"
 
     def __str__(self) -> str:
         return self.value

@@ -87,6 +87,38 @@ def test_duplicate_lines_get_occurrence_indices(tmp_path):
     assert len(result.accepted) == 2
 
 
+def test_write_with_preserve_keeps_unlinted_files(tmp_path):
+    a = tmp_path / "src" / "repro" / "core" / "a.py"
+    b = tmp_path / "src" / "repro" / "core" / "b.py"
+    a.parent.mkdir(parents=True)
+    a.write_text("ok = x == 0.5\n")
+    b.write_text("bad = y != 0.25\n")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, run_lint([tmp_path / "src"], root=tmp_path))
+
+    # Re-freeze from a report covering only a.py (now clean): b.py's frozen
+    # debt must be carried over, not silently discarded.
+    a.write_text("ok = True\n")
+    subset = run_lint([a], root=tmp_path)
+    merged = write_baseline(path, subset, preserve=load_baseline(path))
+    assert len(merged) == 1
+    (entry,) = merged.entries.values()
+    assert entry["path"] == "src/repro/core/b.py"
+
+    full = compare(run_lint([tmp_path / "src"], root=tmp_path), load_baseline(path))
+    assert full.new == []
+    assert len(full.accepted) == 1
+
+
+def test_write_without_preserve_rewrites_everything(tmp_path):
+    tree = _tree(tmp_path, "ok = x == 0.5\n")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, run_lint([tree], root=tree))
+    _tree(tmp_path, "ok = True\n")
+    rewritten = write_baseline(path, run_lint([tree], root=tree))
+    assert len(rewritten) == 0
+
+
 def test_rejects_wrong_version(tmp_path):
     path = tmp_path / "baseline.json"
     path.write_text(json.dumps({"version": 99, "entries": {}}))

@@ -125,6 +125,28 @@ class TestRuleDetails:
         report = run_lint([tmp_path], root=tmp_path)
         assert [v.rule for v in report.violations] == ["SYN001"]
 
+    def test_non_utf8_file_becomes_violation(self, tmp_path):
+        # Unreadable bytes are reported per-file, like a syntax error,
+        # instead of aborting the whole run with a traceback.
+        bad = tmp_path / "src" / "repro" / "core" / "mojibake.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(b"x = 1\n\xff\xfe ok\n")
+        report = run_lint([tmp_path], root=tmp_path)
+        assert [v.rule for v in report.violations] == ["SYN001"]
+        assert "cannot be read" in report.violations[0].message
+        assert report.files_checked == 1
+
+    def test_path_outside_root_raises(self, tmp_path):
+        from repro.analysis import LintRootError
+
+        inside = tmp_path / "root"
+        outside = tmp_path / "elsewhere" / "mod.py"
+        inside.mkdir()
+        outside.parent.mkdir()
+        outside.write_text("ok = True\n")
+        with pytest.raises(LintRootError):
+            run_lint([outside], root=inside)
+
 
 class TestNoqa:
     def test_targeted_noqa_suppresses(self, tmp_path):

@@ -1,0 +1,48 @@
+"""The analyzer must run without the simulation's runtime dependencies.
+
+CI's lint job installs only ruff and runs ``python -m repro.analysis``, so
+importing ``repro.analysis`` — including the parent ``repro`` package
+``__init__`` it triggers — must never pull in numpy or scipy.  This test
+blocks both in a subprocess and runs the gate end to end (regression test
+for the eager package ``__init__`` that once dragged numpy into the lint
+job and failed every CI run).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+DRIVER = """\
+import sys
+
+
+class BlockRuntimeDeps:
+    def find_spec(self, name, path=None, target=None):
+        if name.partition(".")[0] in ("numpy", "scipy"):
+            raise ImportError(f"repro lint must be runtime-free, imported {name}")
+        return None
+
+
+sys.meta_path.insert(0, BlockRuntimeDeps())
+
+from repro.analysis.cli import main
+
+sys.exit(main(["src", "--strict", "--format", "json"]))
+"""
+
+
+def test_lint_runs_with_numpy_and_scipy_blocked(tmp_path):
+    mod = tmp_path / "src" / "repro" / "core" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text("ok = True\n")
+    proc = subprocess.run(
+        [sys.executable, "-c", DRIVER],
+        cwd=tmp_path,
+        env={**os.environ, "PYTHONPATH": SRC},
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
