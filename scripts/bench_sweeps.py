@@ -41,6 +41,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.obs import setup_logging  # noqa: E402
 from repro.obs.events import jsonable  # noqa: E402
+from repro.runtime import drain_overheads  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sweeps.json"
 
@@ -116,16 +117,44 @@ WORKLOADS = {
 }
 
 
+def summarize_overheads(overheads: list) -> dict | None:
+    """Aggregate per-sweep overhead breakdowns into one workload summary.
+
+    A workload may run several sweeps (one per grid size); totals are
+    worker-second weighted so the fractions stay shares of pool capacity.
+    """
+    if not overheads:
+        return None
+    capacity = sum(o["workers"] * o["wall_s"] for o in overheads)
+    totals = {
+        key: sum(o[key] for o in overheads)
+        for key in ("wall_s", "compute_s", "dispatch_s", "serialization_s",
+                    "idle_s")
+    }
+    return {
+        "sweeps": len(overheads),
+        **{key: round(value, 4) for key, value in totals.items()},
+        "utilization": round(totals["compute_s"] / capacity, 4) if capacity else 0.0,
+        "dispatch_frac": round(totals["dispatch_s"] / capacity, 4)
+        if capacity else 0.0,
+        "serialization_frac": round(totals["serialization_s"] / capacity, 4)
+        if capacity else 0.0,
+    }
+
+
 def bench_workload(name: str, quick: bool, workers: int) -> dict:
     run, params = WORKLOADS[name](quick)
 
+    drain_overheads()  # discard breakdowns from earlier workloads
     t0 = time.perf_counter()
     serial = run(1)
     serial_s = time.perf_counter() - t0
+    serial_overhead = summarize_overheads(drain_overheads())
 
     t0 = time.perf_counter()
     parallel = run(workers)
     parallel_s = time.perf_counter() - t0
+    parallel_overhead = summarize_overheads(drain_overheads())
 
     serial_digest = digest(serial)
     parallel_digest = digest(parallel)
@@ -143,6 +172,10 @@ def bench_workload(name: str, quick: bool, workers: int) -> dict:
         "parallel_s": round(parallel_s, 4),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
         "result_sha256": serial_digest,
+        # the parallel run's breakdown is what explains the speedup number;
+        # the serial one is the compute-only baseline it is judged against
+        "overhead": parallel_overhead,
+        "serial_overhead": serial_overhead,
     }
 
 
@@ -155,6 +188,13 @@ def ledger_metrics(record: dict) -> dict:
         out[f"bench.{name}.parallel_s"] = entry["parallel_s"]
         if entry["speedup"] is not None:
             out[f"bench.{name}.speedup"] = entry["speedup"]
+        overhead = entry.get("overhead")
+        if overhead:
+            out[f"bench.{name}.utilization"] = overhead["utilization"]
+            out[f"bench.{name}.dispatch_frac"] = overhead["dispatch_frac"]
+            out[f"bench.{name}.serialization_frac"] = (
+                overhead["serialization_frac"]
+            )
     return out
 
 
@@ -251,6 +291,11 @@ def main(argv=None) -> int:
         print(f"  serial {entry['serial_s']:.2f}s  "
               f"parallel {entry['parallel_s']:.2f}s  "
               f"speedup {entry['speedup']}x  (results identical)")
+        if entry["overhead"]:
+            o = entry["overhead"]
+            print(f"  parallel breakdown: utilization {o['utilization']:.0%}  "
+                  f"dispatch {o['dispatch_frac']:.1%}  "
+                  f"serialization {o['serialization_frac']:.1%}")
 
     append_record(args.output, record)
     print(f"appended run record to {args.output}")

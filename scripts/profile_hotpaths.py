@@ -5,10 +5,15 @@ Runs representative workloads with tracing enabled into a scratch JSONL
 file, then ranks span names by self time — the quickest way to see where a
 joint transmission or a link-layer simulation actually spends its wall
 clock (OFDM mod/demod, precoding, channel apply, Viterbi decode, ...).
+The report path is :mod:`repro.obs.profile` (same engine as ``repro obs
+profile``), so sweep workloads additionally get the per-worker
+compute/dispatch/serialization/idle attribution table, and ``--folded``
+exports flamegraph input.
 
     python scripts/profile_hotpaths.py                  # all workloads
     python scripts/profile_hotpaths.py joint --repeat 5
     python scripts/profile_hotpaths.py --trace prof.jsonl --top 8
+    python scripts/profile_hotpaths.py sweep --folded prof.folded
 """
 
 from __future__ import annotations
@@ -19,7 +24,8 @@ import sys
 import tempfile
 
 from repro.obs import setup_logging, trace
-from repro.obs.summary import format_table, summarize
+from repro.obs.profile import folded_stacks, format_attribution, profile_trace
+from repro.obs.summary import format_table
 
 
 def run_joint(repeat: int) -> None:
@@ -73,6 +79,8 @@ def main(argv=None) -> int:
                         help="rows to show (default 12)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="keep the JSONL trace at FILE (default: scratch)")
+    parser.add_argument("--folded", metavar="FILE", default=None,
+                        help="write folded flamegraph stacks to FILE")
     args = parser.parse_args(argv)
     setup_logging(verbosity=1)
 
@@ -93,8 +101,17 @@ def main(argv=None) -> int:
     finally:
         trace.close()
 
-    summary = summarize(path)
-    print(format_table(summary, top_k=args.top, sort="self"))
+    prof = profile_trace(path)
+    print(format_table(prof.summary, top_k=args.top, sort="self"))
+    for attribution in prof.attributions:
+        print()
+        print(format_attribution(attribution))
+    if args.folded:
+        lines = folded_stacks(prof.records)
+        with open(args.folded, "w") as f:
+            f.write("\n".join(lines) + ("\n" if lines else ""))
+        print(f"{len(lines)} folded stacks written to {args.folded}",
+              file=sys.stderr)
     if cleanup:
         os.unlink(path)
     else:

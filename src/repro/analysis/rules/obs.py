@@ -24,7 +24,7 @@ from repro.analysis.violations import Severity
 METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 
 #: Registry accessors whose first argument is a metric name.
-_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram", "timer"})
 
 
 def _is_tracer_base(src: ModuleSource, node: ast.AST) -> bool:
@@ -114,4 +114,42 @@ class MetricNameConvention(Rule):
                 f"metric name {name_arg.value!r} does not match the "
                 f"dotted.name convention (lowercase `component.metric`); "
                 f"see docs/observability.md",
+            )
+
+
+@register
+class AdHocPerfCounterTiming(Rule):
+    """Timing should flow through obs, not ad-hoc ``perf_counter`` pairs.
+
+    A ``t0 = time.perf_counter()`` / ``elapsed = perf_counter() - t0``
+    pair measures a duration and then strands it in a local variable:
+    invisible to traces, metrics snapshots, the ledger and the profiler.
+    ``trace.span(...)`` or ``metrics.timer(...)`` capture the same number
+    *and* land it in telemetry.  Advice-only — :mod:`repro.obs` itself is
+    exempt (it is the implementation of those timers), and benchmarks that
+    deliberately want a raw stopwatch can suppress per line.
+    """
+
+    id = "OBS003"
+    family = "obs"
+    severity = Severity.ADVICE
+    summary = (
+        "ad-hoc time.perf_counter() timing outside repro.obs; prefer "
+        "trace.span(...) or metrics.timer(...) so the measurement lands "
+        "in telemetry"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator:
+        if src.in_package("repro.obs"):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if src.imports.resolve(node.func) != "time.perf_counter":
+                continue
+            yield self.violation(
+                src, node,
+                "ad-hoc perf_counter timing; wrap the region in "
+                "`with trace.span(...)` or use `metrics.timer(...)` so the "
+                "duration is recorded, not stranded in a local",
             )

@@ -178,6 +178,22 @@ def _add_obs_parser(subparsers, common) -> None:
     s.add_argument("--name", metavar="GLOB", default=None,
                    help="only spans/events matching this glob (e.g. 'phy.*')")
 
+    pr = obs_sub.add_parser(
+        "profile", parents=[common],
+        help="attribute sweep wall time (compute/dispatch/serialization/idle)",
+    )
+    pr.add_argument("trace_file",
+                    help="path to a --trace JSONL output of a sweep run")
+    pr.add_argument("--sweep", metavar="GLOB", default=None,
+                    help="only sweeps matching this glob (e.g. 'fig9*')")
+    pr.add_argument("--top", type=int, default=0, metavar="K",
+                    help="also print the K hottest spans")
+    pr.add_argument("--folded", metavar="FILE", default=None,
+                    help="write folded flamegraph stacks to FILE "
+                         "(flamegraph.pl input format)")
+    pr.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the attribution as JSON instead of tables")
+
     runs = obs_sub.add_parser(
         "runs", parents=[common], help="query the run ledger"
     )
@@ -578,16 +594,71 @@ def _run_obs_bench_trend(args) -> int:
     names = sorted({name for r in records for name in r.metrics})
     if args.metric:
         names = [n for n in names if fnmatchcase(n, args.metric)]
+    # newest value per metric, for the speedup rows' overhead columns
+    latest: dict = {}
+    for r in records:
+        latest.update(r.metrics)
     print(f"{len(records)} bench runs, {records[0].run_id} .. "
           f"{records[-1].run_id}")
     print(f"{'metric':<36} {'n':>3} {'first':>10} {'last':>10} "
-          f"{'delta':>10} {'rel':>8}")
+          f"{'delta':>10} {'rel':>8} {'disp%':>7} {'ser%':>7}")
     for name in names:
         series = [r.metrics[name] for r in records if name in r.metrics]
         first, last = series[0], series[-1]
         rel = f"{(last - first) / abs(first):+.1%}" if first else "-"
+        # a speedup row explains itself with its workload's latest
+        # dispatch/serialization share of pool capacity
+        disp = ser = "-"
+        if name.endswith(".speedup"):
+            base = name[: -len(".speedup")]
+            disp_frac = latest.get(base + ".dispatch_frac")
+            ser_frac = latest.get(base + ".serialization_frac")
+            disp = f"{disp_frac:.1%}" if disp_frac is not None else "-"
+            ser = f"{ser_frac:.1%}" if ser_frac is not None else "-"
         print(f"{name:<36} {len(series):>3d} {first:>10.4g} {last:>10.4g} "
-              f"{last - first:>+10.4g} {rel:>8}")
+              f"{last - first:>+10.4g} {rel:>8} {disp:>7} {ser:>7}")
+    return 0
+
+
+def _run_obs_profile(args) -> int:
+    from fnmatch import fnmatchcase
+
+    from repro.obs import profile as P
+
+    try:
+        prof = P.profile_trace(args.trace_file)
+    except OSError as exc:
+        logger.error("cannot read trace: %s", exc)
+        return 1
+    except ValueError as exc:  # includes JSONDecodeError
+        logger.error("malformed trace %s: %s", args.trace_file, exc)
+        return 1
+    attributions = prof.attributions
+    if args.sweep:
+        attributions = [a for a in attributions
+                        if fnmatchcase(a.sweep, args.sweep)]
+    if args.folded:
+        lines = P.folded_stacks(prof.records)
+        with open(args.folded, "w") as f:
+            f.write("\n".join(lines) + ("\n" if lines else ""))
+        logger.info("%d folded stacks written to %s", len(lines), args.folded)
+    if args.as_json:
+        import json
+
+        print(json.dumps([a.to_dict() for a in attributions], indent=2))
+    else:
+        print(P.format_profile(
+            P.TraceProfile(records=prof.records, attributions=attributions,
+                           summary=prof.summary),
+            top_k=args.top,
+        ))
+    if not attributions:
+        logger.error(
+            "no sweep dispatch records in %s — trace a sweep-running command "
+            "(e.g. `repro figure 9 --workers 4 --trace out.jsonl`)",
+            args.trace_file,
+        )
+        return 1
     return 0
 
 
@@ -606,6 +677,8 @@ def _run_obs(args) -> int:
         print(format_table(summary, top_k=args.top, sort=args.sort,
                            name=args.name))
         return 0
+    if args.obs_command == "profile":
+        return _run_obs_profile(args)
     if args.obs_command == "runs":
         return _run_obs_runs(args)
     if args.obs_command == "export":
@@ -713,21 +786,22 @@ def _main(argv: Optional[List[str]]) -> int:
         logger.info("tracing to %s", args.trace)
     ctx = RunContext()
     started = time.time()
-    t0 = time.perf_counter()
+    run_timer = metrics.timer("cli.command_s").start()
     status = "error"
     try:
-        code = _dispatch(args, ctx)
+        with trace.span("cli.command", command=args.command):
+            code = _dispatch(args, ctx)
         status = "ok" if code == 0 else "error"
         return code
     finally:
+        run_timer.stop()
         if args.trace:
             trace.close()
             logger.info("trace written to %s", args.trace)
         if args.metrics:
             metrics.write_json(args.metrics)
             logger.info("metrics written to %s", args.metrics)
-        _record_run(args, ctx, argv_list, started,
-                    time.perf_counter() - t0, status)
+        _record_run(args, ctx, argv_list, started, run_timer.wall_s, status)
 
 
 if __name__ == "__main__":

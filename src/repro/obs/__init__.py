@@ -21,6 +21,12 @@ history of every run with git sha, config hash, seed and headline metrics),
 detection** (:mod:`repro.obs.regress`: headline-metric probes compared
 against a committed baseline, plus the phase-sync health monitor).
 
+The v3 layer crosses the process boundary: pool workers write per-process
+trace *shards* reassembled into one tree (:mod:`repro.obs.shards`), and the
+attribution profiler (:mod:`repro.obs.profile`, ``repro obs profile``)
+decomposes sweep wall time into compute / dispatch / serialization / idle
+per worker from the engine's ``runtime.chunk`` dispatch envelopes.
+
 Typical CLI wiring::
 
     from repro.obs import metrics, trace, setup_logging
@@ -32,12 +38,13 @@ Typical CLI wiring::
     metrics.write_json("metrics.json")
 """
 
-from repro.obs import metrics
+from repro.obs import metrics, shards
 from repro.obs.events import SCHEMA_VERSION, iter_events, read_events
 from repro.obs.ledger import Ledger, RunRecord, default_runs_dir, new_run_id
 from repro.obs.logging import get_logger, setup_logging
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import MetricsRegistry, Timer, get_registry
 from repro.obs.progress import SweepProgress
+from repro.obs.shards import merge_shards
 from repro.obs.summary import TraceSummary, format_table, summarize
 from repro.obs.tracer import NULL_SPAN, Span, Tracer, trace, traced
 
@@ -49,6 +56,7 @@ __all__ = [
     "RunRecord",
     "Span",
     "SweepProgress",
+    "Timer",
     "TraceSummary",
     "Tracer",
     "default_runs_dir",
@@ -56,10 +64,12 @@ __all__ = [
     "get_logger",
     "get_registry",
     "iter_events",
+    "merge_shards",
     "metrics",
     "new_run_id",
     "read_events",
     "setup_logging",
+    "shards",
     "summarize",
     "trace",
     "traced",

@@ -1,0 +1,141 @@
+"""Merge per-worker trace shards back into one coherent trace.
+
+Pool workers write their spans to private shard files
+(``<trace>.shards/worker-<pid>.jsonl``, see
+:meth:`repro.obs.tracer.Tracer.configure_shard`) because two processes
+appending to one JSONL stream would interleave mid-line.  After the pool
+drains, :func:`merge_shards` folds every shard into the *still-open* parent
+trace:
+
+* each shard record gets fresh span ids drawn from the parent tracer, so
+  ids stay unique across the whole file (workers restart their counters
+  at 1);
+* shard *root* spans — whose ``parent_id`` is None inside the shard — are
+  re-parented under the span that was current in the parent when the pool
+  launched (carried in the shard's meta record), and every depth is
+  shifted accordingly, so parent linkage survives the process boundary;
+* each merged span/event is stamped with ``worker_pid`` in its attrs;
+* shard meta records are dropped (the parent trace already has one), and
+  merged shard files are deleted.
+
+Because the merge happens while the launching span is still open, the
+"children precede parents" file ordering the summarizer relies on is
+preserved: merged worker records land before the parent span's own record.
+A torn trailing line (a worker killed mid-write) is skipped and counted,
+not fatal — the engine already retries that worker's chunk serially.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.obs.tracer import SHARD_DIR_SUFFIX, Tracer
+
+SHARD_GLOB = "worker-*.jsonl"
+
+
+def shard_dir_for(trace_path: str) -> str:
+    """The shard directory co-located with a parent trace file."""
+    return trace_path + SHARD_DIR_SUFFIX
+
+
+def merge_shards(
+    tracer: Tracer,
+    shard_dir: str,
+    default_parent_id: Optional[int] = None,
+    default_depth: int = 0,
+    cleanup: bool = True,
+) -> Dict[str, int]:
+    """Fold every worker shard under ``shard_dir`` into the live tracer.
+
+    ``default_parent_id``/``default_depth`` apply to shards whose meta
+    record lacks parent linkage (or was lost to a torn write).  Returns
+    merge statistics: shards seen, spans/events merged, malformed lines
+    dropped.  Merged shard files are removed when ``cleanup`` is set, and
+    the directory itself once it is empty.
+    """
+    stats = {"shards": 0, "spans": 0, "events": 0, "dropped": 0}
+    for path in sorted(glob.glob(os.path.join(shard_dir, SHARD_GLOB))):
+        stats["shards"] += 1
+        _merge_one(tracer, path, default_parent_id, default_depth, stats)
+        if cleanup:
+            os.unlink(path)
+    if cleanup:
+        try:
+            os.rmdir(shard_dir)
+        except OSError:
+            pass  # non-shard files present, or dir never created
+    return stats
+
+
+def _merge_one(
+    tracer: Tracer,
+    path: str,
+    default_parent_id: Optional[int],
+    default_depth: int,
+    stats: Dict[str, int],
+) -> None:
+    records = _load_records(path, stats)
+    worker_pid: Optional[int] = None
+    parent_id = default_parent_id
+    depth_shift = default_depth
+    idmap: Dict[int, int] = {}
+
+    def remap(shard_id: int) -> int:
+        # Children emit before parents, so a parent's id is referenced
+        # before its own record appears; allocate on first sight.
+        mapped = idmap.get(shard_id)
+        if mapped is None:
+            mapped = idmap[shard_id] = tracer.allocate_span_id()
+        return mapped
+
+    for rec in records:
+        rtype = rec.get("type")
+        if rtype == "meta":
+            worker = rec.get("worker") or {}
+            if worker.get("pid") is not None:
+                worker_pid = int(worker["pid"])
+            if "parent_span_id" in worker:
+                parent_id = worker["parent_span_id"]
+                depth_shift = int(worker.get("parent_depth", default_depth))
+            continue
+        out = dict(rec)
+        if rtype == "span":
+            out["span_id"] = remap(rec["span_id"])
+            if rec.get("parent_id") is None:
+                out["parent_id"] = parent_id
+            else:
+                out["parent_id"] = remap(rec["parent_id"])
+            out["depth"] = int(rec.get("depth", 0)) + depth_shift
+            stats["spans"] += 1
+        elif rtype == "event":
+            if rec.get("parent_id") is None:
+                out["parent_id"] = parent_id
+            else:
+                out["parent_id"] = remap(rec["parent_id"])
+            stats["events"] += 1
+        else:
+            stats["dropped"] += 1
+            continue
+        if worker_pid is not None:
+            attrs = dict(out.get("attrs") or {})
+            attrs.setdefault("worker_pid", worker_pid)
+            out["attrs"] = attrs
+        tracer.emit(out)
+
+
+def _load_records(path: str, stats: Dict[str, int]) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                stats["dropped"] += 1  # torn write from a dead worker
+    return records

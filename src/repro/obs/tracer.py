@@ -20,17 +20,34 @@ path)`` switches on the JSONL backend; spans then record wall-clock
 (``perf_counter``) and CPU (``process_time``) durations, nesting depth and
 parent linkage, and are exception-safe: a span exited by an exception still
 emits its record (with ``error`` set) and never swallows the exception.
+
+Pool workers do not share the parent's sink.  A forked child inherits the
+parent's open file, and two processes appending to one stream interleave
+mid-line — so workers first call :meth:`Tracer.detach` (drop the inherited
+writer *without* flushing or closing it, which would corrupt the parent's
+buffer) and then, when the parent was tracing to a file, reopen their own
+*shard*: a per-worker JSONL file under ``<trace>.shards/`` seeded with the
+parent's span context (see :meth:`Tracer.worker_context` /
+:meth:`Tracer.configure_shard`).  After the pool drains,
+:func:`repro.obs.shards.merge_shards` folds every shard back into the live
+parent trace with remapped span ids, restoring one coherent tree.
 """
 
 from __future__ import annotations
 
+import atexit
 import functools
 import itertools
+import os
 import threading
 import time
-from typing import IO, Optional, Union
+from typing import IO, Any, Dict, Optional, Union
 
 from repro.obs.events import SCHEMA_VERSION, JsonlWriter, jsonable
+
+#: Directory holding per-worker trace shards, next to the parent trace file:
+#: ``/path/run.jsonl`` -> ``/path/run.jsonl.shards/worker-<pid>.jsonl``.
+SHARD_DIR_SUFFIX = ".shards"
 
 
 class NullSpan:
@@ -112,6 +129,7 @@ class Tracer:
     def __init__(self):
         self.enabled = False
         self._writer: Optional[JsonlWriter] = None
+        self._sink_path: Optional[str] = None
         self._ids = itertools.count(1)
         self._local = threading.local()
 
@@ -121,6 +139,7 @@ class Tracer:
         """Start tracing into ``sink`` (a path or text file object)."""
         self.close()
         self._writer = JsonlWriter(sink)
+        self._sink_path = sink if isinstance(sink, str) else None
         self._ids = itertools.count(1)
         self._writer.write(
             {"type": "meta", "schema": SCHEMA_VERSION, "ts": time.time(),
@@ -134,6 +153,89 @@ class Tracer:
         if self._writer is not None:
             self._writer.close()
             self._writer = None
+        self._sink_path = None
+
+    def detach(self) -> None:
+        """Disable tracing and *drop* the sink without flushing or closing it.
+
+        For child processes: a forked worker inherits the parent's tracer,
+        including its open file object and any bytes the parent had buffered
+        at fork time.  ``close()`` would flush that inherited buffer into
+        the file a second time, so the child must walk away from the handle
+        instead of closing it.  The thread-local span stack is reset too —
+        spans open in the parent at fork time do not belong to the child.
+        """
+        self.enabled = False
+        self._writer = None
+        self._sink_path = None
+        self._local = threading.local()
+
+    @property
+    def sink_path(self) -> Optional[str]:
+        """Path of the current sink, or None (disabled / file-object sink)."""
+        return self._sink_path
+
+    # -- cross-process shards ------------------------------------------------
+
+    def worker_context(self, **attrs) -> Optional[Dict[str, Any]]:
+        """Picklable shard context to ship to pool workers.
+
+        Returns None unless tracing into a named file (worker shards need a
+        directory to live in).  The context carries the shard directory
+        (created here, in the parent), the current span's id/depth so shard
+        roots can be re-parented under it at merge time, and any extra
+        ``attrs`` to stamp into each shard's meta record.
+        """
+        if not self.enabled or self._sink_path is None:
+            return None
+        shard_dir = self._sink_path + SHARD_DIR_SUFFIX
+        os.makedirs(shard_dir, exist_ok=True)
+        current = self.current_span
+        return {
+            "shard_dir": shard_dir,
+            "parent_span_id": None if current is None else current.span_id,
+            "parent_depth": 0 if current is None else current.depth + 1,
+            "attrs": jsonable(attrs) if attrs else {},
+        }
+
+    def configure_shard(self, context: Dict[str, Any]) -> str:
+        """Open this process's shard of an inherited trace (pool workers).
+
+        Call after :meth:`detach`, with the parent's
+        :meth:`worker_context`.  The shard file is keyed on the worker's
+        pid, its meta record carries the inherited parent span linkage, and
+        the shard is closed at interpreter exit so a clean worker shutdown
+        always leaves complete lines behind.  Returns the shard path.
+        """
+        pid = os.getpid()
+        path = os.path.join(context["shard_dir"], f"worker-{pid}.jsonl")
+        self.detach()
+        self._writer = JsonlWriter(path)
+        self._sink_path = path
+        self._ids = itertools.count(1)
+        self._writer.write({
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "ts": time.time(),
+            "worker": {
+                "pid": pid,
+                "parent_span_id": context.get("parent_span_id"),
+                "parent_depth": int(context.get("parent_depth", 0)),
+            },
+            **({"attrs": dict(context["attrs"])} if context.get("attrs") else {}),
+        })
+        self.enabled = True
+        atexit.register(self.close)
+        return path
+
+    def allocate_span_id(self) -> int:
+        """Draw a fresh span id from this tracer's sequence (merger use)."""
+        return next(self._ids)
+
+    def emit(self, record: dict) -> None:
+        """Write a pre-built record to the sink while enabled (merger use)."""
+        if self.enabled:
+            self._emit(record)
 
     # -- recording -----------------------------------------------------------
 

@@ -20,13 +20,16 @@ from repro.runtime.checkpoint import (
 )
 from repro.runtime.engine import (
     DEFAULT_CHUNK_SIZE,
+    MEMORY_ENV_FLAG,
     WORKER_ENV_FLAG,
     CellSpec,
     SweepError,
     SweepResult,
     assemble_results,
+    drain_overheads,
     iter_chunks,
     run_chunk,
+    run_chunk_instrumented,
     run_sweep,
 )
 from repro.runtime.seeding import seed_sequence, spawn_key, task_rng
@@ -36,13 +39,16 @@ __all__ = [
     "CheckpointMismatch",
     "CellSpec",
     "DEFAULT_CHUNK_SIZE",
+    "MEMORY_ENV_FLAG",
     "SweepError",
     "SweepResult",
     "WORKER_ENV_FLAG",
     "assemble_results",
+    "drain_overheads",
     "iter_chunks",
     "load_completed",
     "run_chunk",
+    "run_chunk_instrumented",
     "run_sweep",
     "seed_sequence",
     "spawn_key",

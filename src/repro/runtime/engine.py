@@ -31,18 +31,37 @@ Execution model:
 * every chunk completion feeds a :class:`repro.obs.progress.SweepProgress`
   tracker, which renders a live stderr status line (done/total, trials/s,
   ETA, retries) and mirrors it as ``runtime.progress`` trace events —
-  parent-process-only state that cannot affect results.
+  parent-process-only state that cannot affect results;
+* every completed chunk carries a dispatch-overhead *envelope* (worker
+  wall/CPU compute, receive/done timestamps, result-serialization cost)
+  recorded in the parent as ``runtime.chunk`` trace events and
+  ``runtime.*`` metrics; :func:`repro.obs.profile.attribute_chunks` folds
+  these into the per-worker ``wall = compute + dispatch + serialization +
+  idle`` breakdown stamped into :attr:`SweepResult.overhead`;
+* when the parent traces to a file, pool workers re-open per-worker JSONL
+  shards (via the pool initializer) that are merged back into the parent
+  trace after the pool drains, so kernel-level spans survive the process
+  boundary with correct parent linkage.
+
+All accounting is parent-side or envelope metadata riding alongside the
+result payload — kernel results are untouched, so the bit-identical
+guarantee across worker counts is preserved.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import pickle
+import time
+import tracemalloc
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.obs import get_logger, metrics, trace
+from repro.obs import get_logger, metrics, shards, trace
 from repro.obs.events import jsonable
+from repro.obs.metrics import Timer
+from repro.obs.profile import attribute_chunks
 from repro.obs.progress import SweepProgress
 from repro.runtime.checkpoint import open_checkpoint, sweep_header
 from repro.runtime.seeding import seed_sequence
@@ -58,13 +77,43 @@ DEFAULT_CHUNK_SIZE = 4
 #: kernels and tests can tell worker context from the parent process.
 WORKER_ENV_FLAG = "REPRO_RUNTIME_WORKER"
 
+#: Set to "1" to sample per-chunk peak memory via ``tracemalloc`` (in the
+#: parent for serial runs, in every pool worker for parallel ones).
+MEMORY_ENV_FLAG = "REPRO_PROFILE_MEMORY"
+
 #: One work item: ``(cell_index, chunk_index, start_trial, stop_trial)``.
 Task = Tuple[int, int, int, int]
+
+#: A chunk result plus its dispatch-overhead accounting fields.
+Envelope = Dict[str, Any]
 
 _CHUNKS_RUN = metrics.counter("runtime.chunks_run")
 _CHUNKS_RESUMED = metrics.counter("runtime.chunks_resumed")
 _CHUNK_FAILURES = metrics.counter("runtime.chunk_failures")
 _SERIAL_RETRIES = metrics.counter("runtime.serial_retries")
+_QUEUE_WAIT_S = metrics.histogram("runtime.queue_wait_s")
+_WORKER_WALL_S = metrics.histogram("runtime.worker_wall_s")
+_WORKER_CPU_S = metrics.histogram("runtime.worker_cpu_s")
+_SER_TASK_S = metrics.counter("runtime.ser_task_s")
+_SER_TASK_BYTES = metrics.counter("runtime.ser_task_bytes")
+_SER_RESULT_S = metrics.counter("runtime.ser_result_s")
+_SER_RESULT_BYTES = metrics.counter("runtime.ser_result_bytes")
+
+#: Overhead breakdowns of completed sweeps, drained by benchmark tooling.
+_SWEEP_OVERHEADS: List[Dict[str, Any]] = []
+
+
+def drain_overheads() -> List[Dict[str, Any]]:
+    """Return and clear the overhead breakdowns of sweeps run so far.
+
+    Parent-process state: each :func:`run_sweep` that executed at least one
+    chunk appends its :attr:`SweepResult.overhead` dict here, so callers
+    that drive sweeps indirectly (benchmarks, experiments) can collect the
+    breakdowns without threading the results through every layer.
+    """
+    out = list(_SWEEP_OVERHEADS)
+    _SWEEP_OVERHEADS.clear()
+    return out
 
 
 class SweepError(RuntimeError):
@@ -97,6 +146,9 @@ class SweepResult:
         results: Per-cell kernel results, ordered by trial index.
         chunk_failures: Work items that needed a serial retry.
         resumed_chunks: Work items loaded from the checkpoint.
+        overhead: Per-worker wall-time attribution of this run (see
+            :meth:`repro.obs.profile.SweepAttribution.to_dict`), or None
+            when every chunk came from the checkpoint.
     """
 
     name: str
@@ -105,6 +157,7 @@ class SweepResult:
     results: List[List[Any]]
     chunk_failures: int = 0
     resumed_chunks: int = 0
+    overhead: Optional[Dict[str, Any]] = None
 
     def cell_results(self, key: Any) -> List[Any]:
         """The trial-ordered results of the cell labelled ``key``."""
@@ -146,18 +199,134 @@ def run_chunk(
     return out
 
 
-def _worker_init() -> None:
-    """Pool-worker initializer: mark the process and detach inherited obs.
+def run_chunk_instrumented(
+    kernel: Callable[[Any, Any], Any],
+    sweep: str,
+    master_seed: int,
+    params: Any,
+    cell_index: int,
+    chunk_index: int,
+    start: int,
+    stop: int,
+    measure_ser: bool = True,
+) -> Envelope:
+    """Run one chunk wrapped in dispatch-overhead accounting.
+
+    The work is exactly :func:`run_chunk`; around it this records receive/
+    done wall-clock timestamps (``time.time()``, comparable across
+    processes on one machine), wall/CPU compute time, peak memory when
+    tracemalloc is live, and — for pool workers — the cost of pickling the
+    result payload, measured once here so the parent sees the real
+    transfer size.  ``measure_ser=False`` (serial and retry paths, where no
+    pickling happens) skips that probe so in-process runs aren't charged
+    for work they don't do.  Returns an *envelope* dict with the result
+    under ``"pairs"`` plus the accounting fields.
+    """
+    recv_ts = time.time()
+    sample_mem = tracemalloc.is_tracing()
+    if sample_mem:
+        tracemalloc.reset_peak()
+    timer = Timer().start()
+    with trace.span(
+        "runtime.chunk", sweep=sweep, cell=cell_index, chunk=chunk_index,
+        trials=stop - start,
+    ):
+        pairs = run_chunk(
+            kernel, sweep, master_seed, params, cell_index, start, stop
+        )
+    timer.stop()
+    envelope: Envelope = {
+        "pairs": pairs,
+        "worker_pid": os.getpid(),
+        "recv_ts": recv_ts,
+        "wall_s": timer.wall_s,
+        "cpu_s": timer.cpu_s,
+        "ser_result_bytes": 0,
+        "ser_result_s": 0.0,
+    }
+    if sample_mem:
+        envelope["mem_peak_kb"] = tracemalloc.get_traced_memory()[1] / 1024.0
+    if measure_ser:
+        ser = Timer().start()
+        blob = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
+        ser.stop()
+        envelope["ser_result_bytes"] = len(blob)
+        envelope["ser_result_s"] = ser.wall_s
+    if os.environ.get(WORKER_ENV_FLAG):
+        # keep the shard complete per chunk, so a worker killed later
+        # leaves whole lines for the merger
+        trace.flush()
+    envelope["done_ts"] = time.time()
+    return envelope
+
+
+def _worker_init(trace_context: Optional[Dict[str, Any]] = None) -> None:
+    """Pool-worker initializer: mark the process, re-home obs into a shard.
 
     The forked child inherits the parent's tracer (and its open file); spans
-    written from two processes would interleave mid-line, so workers run
-    with tracing detached.  Metrics incremented inside workers live in the
-    worker's copy of the registry and are intentionally not merged — the
-    engine accounts for work items in the parent.
+    written from two processes would interleave mid-line, so the worker
+    first detaches from the inherited sink and then — when the parent is
+    tracing to a file — opens its own shard seeded with the parent's span
+    context (merged back by :func:`repro.obs.shards.merge_shards` after the
+    pool drains).  Metrics incremented inside workers live in the worker's
+    copy of the registry and are intentionally not merged — the engine
+    accounts for work items in the parent via chunk envelopes.
     """
     os.environ[WORKER_ENV_FLAG] = "1"
-    trace.enabled = False
-    trace._writer = None
+    trace.detach()
+    if trace_context is not None:
+        trace.configure_shard(trace_context)
+    if os.environ.get(MEMORY_ENV_FLAG) == "1" and not tracemalloc.is_tracing():
+        tracemalloc.start()
+
+
+def _account_chunk(
+    acct: List[Dict[str, Any]],
+    sweep: str,
+    task: Task,
+    mode: str,
+    submit_ts: float,
+    envelope: Envelope,
+    ser_task: Tuple[int, float] = (0, 0.0),
+) -> None:
+    """Fold a completed chunk's envelope into metrics and a trace event.
+
+    Parent-side only.  ``mode`` is ``"pool"``, ``"serial"`` or ``"retry"``;
+    serial and retry chunks ran in the parent process and are attributed to
+    the synthetic worker ``"parent"``.
+    """
+    recv_ts = float(envelope["recv_ts"])
+    done_ts = float(envelope["done_ts"])
+    rec: Dict[str, Any] = {
+        "sweep": sweep,
+        "cell": task[0],
+        "chunk": task[1],
+        "trials": task[3] - task[2],
+        "mode": mode,
+        "worker": f"pid:{envelope['worker_pid']}" if mode == "pool" else "parent",
+        "submit_ts": submit_ts,
+        "recv_ts": recv_ts,
+        "done_ts": done_ts,
+        "wall_s": float(envelope["wall_s"]),
+        "cpu_s": float(envelope["cpu_s"]),
+        "queue_wait_s": max(recv_ts - submit_ts, 0.0),
+        "result_wait_s": max(time.time() - done_ts, 0.0),
+        "ser_task_bytes": int(ser_task[0]),
+        "ser_task_s": float(ser_task[1]),
+        "ser_result_bytes": int(envelope["ser_result_bytes"]),
+        "ser_result_s": float(envelope["ser_result_s"]),
+    }
+    if "mem_peak_kb" in envelope:
+        rec["mem_peak_kb"] = float(envelope["mem_peak_kb"])
+    acct.append(rec)
+    _QUEUE_WAIT_S.observe(rec["queue_wait_s"])
+    _WORKER_WALL_S.observe(rec["wall_s"])
+    _WORKER_CPU_S.observe(rec["cpu_s"])
+    _SER_TASK_S.inc(rec["ser_task_s"])
+    _SER_TASK_BYTES.inc(rec["ser_task_bytes"])
+    _SER_RESULT_S.inc(rec["ser_result_s"])
+    _SER_RESULT_BYTES.inc(rec["ser_result_bytes"])
+    trace.event("runtime.chunk", **rec)
 
 
 def assemble_results(
@@ -253,28 +422,55 @@ def run_sweep(
             writer.append_chunk(cell_index, chunk_index, results)
         progress.chunk_done(task[3] - task[2])
 
+    acct: List[Dict[str, Any]] = []
+    started_mem = False
+    if os.environ.get(MEMORY_ENV_FLAG) == "1" and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started_mem = True
+    sweep_timer = Timer()
     with trace.span(
         "runtime.sweep", sweep=name, workers=workers, chunks=len(tasks),
         resumed=resumed,
     ) as span:
+        sweep_timer.start()
+        start_ts = time.time()
         try:
             if workers == 1 or not pending:
                 for task in pending:
-                    cell_index, _chunk_index, start, stop = task
-                    finish(task, run_chunk(
+                    cell_index, chunk_index, start, stop = task
+                    submit_ts = time.time()
+                    envelope = run_chunk_instrumented(
                         kernel, name, master_seed, cells[cell_index].params,
-                        cell_index, start, stop,
-                    ))
+                        cell_index, chunk_index, start, stop, measure_ser=False,
+                    )
+                    _account_chunk(acct, name, task, "serial", submit_ts, envelope)
+                    finish(task, envelope["pairs"])
             else:
                 failures = _run_pool(
                     name, kernel, cells, master_seed, workers, pending, finish,
-                    progress,
+                    progress, acct,
                 )
         finally:
+            if started_mem:
+                tracemalloc.stop()
             if writer is not None:
                 writer.close()
             progress.close()
-        span.record(chunk_failures=failures)
+        sweep_timer.stop()
+        overhead: Optional[Dict[str, Any]] = None
+        if acct:
+            overhead = attribute_chunks(
+                acct, sweep_timer.wall_s, workers, start_ts, sweep=name
+            ).to_dict()
+            _SWEEP_OVERHEADS.append(overhead)
+            span.record(
+                chunk_failures=failures,
+                utilization=overhead["utilization"],
+                dispatch_frac=overhead["dispatch_frac"],
+                serialization_frac=overhead["serialization_frac"],
+            )
+        else:
+            span.record(chunk_failures=failures)
 
     results = assemble_results(cells, completed)
     return SweepResult(
@@ -284,6 +480,7 @@ def run_sweep(
         results=results,
         chunk_failures=failures,
         resumed_chunks=resumed,
+        overhead=overhead,
     )
 
 
@@ -296,6 +493,7 @@ def _run_pool(
     pending: Sequence[Task],
     finish: Callable[[Task, List[list]], None],
     progress: Optional[SweepProgress] = None,
+    acct: Optional[List[Dict[str, Any]]] = None,
 ) -> int:
     """Dispatch chunks to a process pool; retry failures serially in-parent.
 
@@ -303,21 +501,56 @@ def _run_pool(
     breaks the whole pool (``BrokenProcessPool``); every not-yet-finished
     future then fails fast and each chunk is re-run serially, so the sweep
     degrades gracefully to in-process execution rather than aborting.
+
+    When the parent traces to a file, workers write per-process trace
+    shards (see :func:`_worker_init`) that are merged back into the parent
+    trace once the pool has shut down — ``Executor.__exit__`` joins every
+    worker, so shard files are complete by merge time.
     """
     failures = 0
-    with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
-        futures = {
-            pool.submit(
-                run_chunk, kernel, name, master_seed, cells[task[0]].params,
-                task[0], task[2], task[3],
-            ): task
-            for task in pending
-        }
+    acct_list: List[Dict[str, Any]] = [] if acct is None else acct
+    worker_ctx = trace.worker_context(sweep=name)
+    ser_cache: Dict[int, Tuple[int, float]] = {}
+
+    def task_ser_cost(task: Task) -> Tuple[int, float]:
+        # Measured once per cell: chunks of a cell ship identical payloads
+        # (same kernel/params, different trial bounds), so one probe prices
+        # them all without re-pickling every submission.
+        cached = ser_cache.get(task[0])
+        if cached is None:
+            probe = Timer().start()
+            try:
+                size = len(pickle.dumps(
+                    (kernel, name, master_seed, cells[task[0]].params,
+                     task[0], task[1], task[2], task[3]),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ))
+            except Exception:  # unpicklable probe: let the pool report it
+                size = 0
+            probe.stop()
+            cached = ser_cache[task[0]] = (size, probe.wall_s)
+        return cached
+
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init, initargs=(worker_ctx,),
+    ) as pool:
+        futures: Dict[Future[Envelope], Tuple[Task, float, Tuple[int, float]]] = {}
+        for task in pending:
+            ser_cost = task_ser_cost(task)
+            submit_ts = time.time()
+            future = pool.submit(
+                run_chunk_instrumented, kernel, name, master_seed,
+                cells[task[0]].params, task[0], task[1], task[2], task[3],
+            )
+            futures[future] = (task, submit_ts, ser_cost)
         for future in as_completed(futures):
-            task = futures[future]
+            task, submit_ts, ser_cost = futures[future]
             cell_index, chunk_index, start, stop = task
             try:
-                results = future.result()
+                envelope = future.result()
+                _account_chunk(
+                    acct_list, name, task, "pool", submit_ts, envelope, ser_cost
+                )
             except Exception as exc:  # kernel error or broken pool
                 failures += 1
                 _CHUNK_FAILURES.inc()
@@ -332,12 +565,24 @@ def _run_pool(
                     "runtime.chunk_failure", sweep=name, cell=cell_index,
                     chunk=chunk_index, error=type(exc).__name__,
                 )
-                results = run_chunk(
+                retry_ts = time.time()
+                envelope = run_chunk_instrumented(
                     kernel, name, master_seed, cells[cell_index].params,
-                    cell_index, start, stop,
+                    cell_index, chunk_index, start, stop, measure_ser=False,
                 )
                 _SERIAL_RETRIES.inc()
                 if progress is not None:
                     progress.retry_done()
-            finish(task, results)
+                _account_chunk(
+                    acct_list, name, task, "retry", retry_ts, envelope
+                )
+            finish(task, envelope["pairs"])
+    if worker_ctx is not None:
+        stats = shards.merge_shards(
+            trace,
+            worker_ctx["shard_dir"],
+            default_parent_id=worker_ctx["parent_span_id"],
+            default_depth=worker_ctx["parent_depth"],
+        )
+        trace.event("runtime.shards_merged", sweep=name, **stats)
     return failures

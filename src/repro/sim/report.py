@@ -8,9 +8,7 @@ works from an installed wheel, not just a source checkout.
 
 from __future__ import annotations
 
-import time
-
-from repro.obs import get_logger
+from repro.obs import get_logger, metrics
 
 logger = get_logger(__name__)
 
@@ -28,7 +26,7 @@ def generate_report() -> None:
     from repro.sim.overhead import run_overhead_experiment
     from repro.sim.theory import fit_gain_model, paper_implied_k_summary
 
-    t0 = time.perf_counter()
+    report_timer = metrics.timer("report.generate_s").start()
     logger.info("regenerating all EXPERIMENTS.md tables (full scale)")
 
     _banner("Figure 6 — SNR reduction vs. phase misalignment")
@@ -100,4 +98,4 @@ def generate_report() -> None:
     for label, k in paper_implied_k_summary().items():
         print(f"  {label}: K = {k:.2f} dB")
 
-    print(f"\ntotal runtime: {time.perf_counter() - t0:.0f} s")
+    print(f"\ntotal runtime: {report_timer.stop():.0f} s")

@@ -27,6 +27,7 @@ FIXTURE_DEST = {
     "NUM003": "src/repro/core/fixture_mod.py",
     "OBS001": "src/repro/sim/fixture_mod.py",
     "OBS002": "src/repro/sim/fixture_mod.py",
+    "OBS003": "src/repro/sim/fixture_mod.py",
 }
 
 

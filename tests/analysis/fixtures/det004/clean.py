@@ -4,6 +4,8 @@ import time
 
 
 def measure(fn):
-    t0 = time.perf_counter()
+    # raw stopwatch on purpose: this fixture demonstrates the DET004-clean
+    # duration clock, not the obs timing API
+    t0 = time.perf_counter()  # repro: noqa[OBS003] deliberate raw stopwatch
     fn()
-    return time.perf_counter() - t0
+    return time.perf_counter() - t0  # repro: noqa[OBS003] deliberate raw stopwatch

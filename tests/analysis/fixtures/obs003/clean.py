@@ -1,0 +1,11 @@
+"""Timing routed through repro.obs (clean for OBS003)."""
+
+from repro.obs import metrics, trace
+
+STEP_TIMER = metrics.histogram("sim.step_s")
+
+
+def timed_step():
+    with trace.span("sim.step"):
+        with metrics.timer("sim.step_s"):
+            return sum(range(64))

@@ -1,0 +1,9 @@
+"""Ad-hoc perf_counter stopwatch pair (flagged: OBS003)."""
+
+import time
+
+
+def timed_step():
+    t0 = time.perf_counter()
+    total = sum(range(64))
+    return total, time.perf_counter() - t0

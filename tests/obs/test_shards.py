@@ -1,0 +1,223 @@
+"""Worker trace shards: detach, shard lifecycle, merge-back linkage."""
+
+import io
+import json
+import os
+
+from repro.obs.events import iter_events, read_events
+from repro.obs.shards import merge_shards, shard_dir_for
+from repro.obs.tracer import NULL_SPAN, SHARD_DIR_SUFFIX, Tracer
+
+
+class TestDetach:
+    def test_detach_disables_without_flushing(self):
+        buf = io.StringIO()
+        t = Tracer()
+        t.configure(buf)
+        with t.span("before"):
+            pass
+        written = buf.getvalue()
+        t.detach()
+        assert not t.enabled
+        assert t.span("after") is NULL_SPAN
+        t.event("after")  # silently dropped
+        # the inherited buffer is walked away from, never touched again
+        assert buf.getvalue() == written
+        t.close()  # idempotent after detach, no error
+        assert buf.getvalue() == written
+
+    def test_detach_resets_span_stack_and_sink_path(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = Tracer()
+        t.configure(str(path))
+        assert t.sink_path == str(path)
+        span = t.span("parent").__enter__()  # left open, as at fork time
+        assert t.current_span is span
+        t.detach()
+        assert t.current_span is None
+        assert t.sink_path is None
+
+
+class TestWorkerContext:
+    def test_none_when_disabled(self):
+        assert Tracer().worker_context() is None
+
+    def test_none_for_file_object_sinks(self):
+        t = Tracer()
+        t.configure(io.StringIO())
+        assert t.worker_context() is None
+
+    def test_context_creates_shard_dir_and_links_current_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = Tracer()
+        t.configure(str(path))
+        with t.span("launch") as sp:
+            ctx = t.worker_context(sweep="unit")
+        assert ctx["shard_dir"] == str(path) + SHARD_DIR_SUFFIX
+        assert os.path.isdir(ctx["shard_dir"])
+        assert ctx["parent_span_id"] == sp.span_id
+        assert ctx["parent_depth"] == sp.depth + 1
+        assert ctx["attrs"] == {"sweep": "unit"}
+        t.close()
+
+    def test_context_outside_any_span(self, tmp_path):
+        t = Tracer()
+        t.configure(str(tmp_path / "t.jsonl"))
+        ctx = t.worker_context()
+        assert ctx["parent_span_id"] is None
+        assert ctx["parent_depth"] == 0
+        assert ctx["attrs"] == {}
+        t.close()
+
+
+class TestConfigureShard:
+    def _context(self, tmp_path, parent_span_id=9, parent_depth=2):
+        shard_dir = tmp_path / ("t.jsonl" + SHARD_DIR_SUFFIX)
+        shard_dir.mkdir()
+        return {
+            "shard_dir": str(shard_dir),
+            "parent_span_id": parent_span_id,
+            "parent_depth": parent_depth,
+            "attrs": {"sweep": "unit"},
+        }
+
+    def test_shard_file_keyed_on_pid_with_meta_linkage(self, tmp_path):
+        t = Tracer()
+        path = t.configure_shard(self._context(tmp_path))
+        assert path.endswith(f"worker-{os.getpid()}.jsonl")
+        assert t.enabled and t.sink_path == path
+        with t.span("inner"):
+            pass
+        t.close()
+        records = list(iter_events(path))
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["worker"] == {
+            "pid": os.getpid(), "parent_span_id": 9, "parent_depth": 2,
+        }
+        assert meta["attrs"] == {"sweep": "unit"}
+        # the shard's id sequence restarts: its first span is id 1
+        assert records[1]["name"] == "inner"
+        assert records[1]["span_id"] == 1
+
+
+def write_shard(shard_dir, pid, lines):
+    shard_dir.mkdir(exist_ok=True)
+    path = shard_dir / f"worker-{pid}.jsonl"
+    path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+    return path
+
+
+def shard_meta(pid, parent_span_id, parent_depth):
+    return {"type": "meta", "schema": 1, "ts": 1.0,
+            "worker": {"pid": pid, "parent_span_id": parent_span_id,
+                       "parent_depth": parent_depth}}
+
+
+class TestMergeShards:
+    def test_merge_restores_linkage_inside_open_parent_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        parent = Tracer()
+        parent.configure(str(path))
+        with parent.span("runtime.sweep") as sweep:
+            ctx = parent.worker_context()
+            # a worker trace: child span under a root span, plus an event
+            write_shard(tmp_path / ("t.jsonl" + SHARD_DIR_SUFFIX), 111, [
+                shard_meta(111, ctx["parent_span_id"], ctx["parent_depth"]),
+                {"type": "event", "name": "tick", "ts": 2.0, "parent_id": 2},
+                {"type": "span", "name": "leaf", "ts": 2.0, "wall_s": 0.1,
+                 "cpu_s": 0.1, "span_id": 1, "parent_id": 2, "depth": 1},
+                {"type": "span", "name": "chunk", "ts": 2.0, "wall_s": 0.2,
+                 "cpu_s": 0.2, "span_id": 2, "parent_id": None, "depth": 0},
+            ])
+            stats = merge_shards(
+                parent, ctx["shard_dir"],
+                default_parent_id=ctx["parent_span_id"],
+                default_depth=ctx["parent_depth"],
+            )
+            sweep_id, sweep_depth = sweep.span_id, sweep.depth
+        parent.close()
+
+        assert stats == {"shards": 1, "spans": 2, "events": 1, "dropped": 0}
+        records = list(iter_events(str(path)))
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        # the shard root is re-parented under the launching sweep span
+        assert spans["chunk"]["parent_id"] == sweep_id
+        assert spans["chunk"]["depth"] == sweep_depth + 1
+        assert spans["leaf"]["parent_id"] == spans["chunk"]["span_id"]
+        assert spans["leaf"]["depth"] == sweep_depth + 2
+        # fresh ids from the parent sequence: unique across the whole file
+        ids = [r["span_id"] for r in records if r["type"] == "span"]
+        assert len(ids) == len(set(ids))
+        # every merged record is stamped with its worker pid
+        assert spans["chunk"]["attrs"]["worker_pid"] == 111
+        assert spans["leaf"]["attrs"]["worker_pid"] == 111
+        (event,) = [r for r in records if r["type"] == "event"]
+        assert event["parent_id"] == spans["chunk"]["span_id"]
+        assert event["attrs"]["worker_pid"] == 111
+        # merged while the sweep span was open: children precede the parent
+        order = [r["name"] for r in records if r["type"] == "span"]
+        assert order.index("chunk") < order.index("runtime.sweep")
+        # one meta only — shard metas are dropped
+        assert sum(1 for r in records if r["type"] == "meta") == 1
+
+    def test_merge_cleans_up_shard_files_and_dir(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        parent = Tracer()
+        parent.configure(str(path))
+        shard_dir = tmp_path / ("t.jsonl" + SHARD_DIR_SUFFIX)
+        write_shard(shard_dir, 7, [shard_meta(7, None, 0)])
+        merge_shards(parent, str(shard_dir))
+        parent.close()
+        assert not shard_dir.exists()
+
+    def test_cleanup_false_keeps_shards(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        parent = Tracer()
+        parent.configure(str(path))
+        shard_dir = tmp_path / ("t.jsonl" + SHARD_DIR_SUFFIX)
+        shard = write_shard(shard_dir, 7, [shard_meta(7, None, 0)])
+        merge_shards(parent, str(shard_dir), cleanup=False)
+        parent.close()
+        assert shard.exists()
+
+    def test_torn_line_and_unknown_type_counted_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        parent = Tracer()
+        parent.configure(str(path))
+        shard_dir = tmp_path / ("t.jsonl" + SHARD_DIR_SUFFIX)
+        shard = write_shard(shard_dir, 7, [
+            shard_meta(7, None, 0),
+            {"type": "mystery", "name": "?"},
+            {"type": "span", "name": "ok", "ts": 1.0, "wall_s": 0.0,
+             "cpu_s": 0.0, "span_id": 1, "parent_id": None, "depth": 0},
+        ])
+        with open(shard, "a") as f:
+            f.write('{"type": "span", "name": "torn')  # killed mid-write
+        stats = merge_shards(parent, str(shard_dir))
+        parent.close()
+        assert stats["spans"] == 1
+        assert stats["dropped"] == 2
+        names = {r["name"] for r in read_events(path.read_text().splitlines())
+                 if r["type"] == "span"}
+        assert names == {"ok"}
+
+    def test_meta_without_linkage_falls_back_to_defaults(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        parent = Tracer()
+        parent.configure(str(path))
+        shard_dir = tmp_path / ("t.jsonl" + SHARD_DIR_SUFFIX)
+        write_shard(shard_dir, 7, [
+            {"type": "meta", "schema": 1, "ts": 1.0},  # no worker block
+            {"type": "span", "name": "orphan", "ts": 1.0, "wall_s": 0.0,
+             "cpu_s": 0.0, "span_id": 1, "parent_id": None, "depth": 0},
+        ])
+        merge_shards(parent, str(shard_dir), default_parent_id=42,
+                     default_depth=3)
+        parent.close()
+        (span,) = [r for r in iter_events(str(path)) if r["type"] == "span"]
+        assert span["parent_id"] == 42
+        assert span["depth"] == 3
+
+    def test_shard_dir_for_suffix(self):
+        assert shard_dir_for("/x/run.jsonl") == "/x/run.jsonl" + SHARD_DIR_SUFFIX

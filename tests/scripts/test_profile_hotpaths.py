@@ -1,0 +1,91 @@
+"""Smoke tests of scripts/profile_hotpaths.py against every workload."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_script():
+    spec = importlib.util.spec_from_file_location(
+        "profile_hotpaths", REPO_ROOT / "scripts" / "profile_hotpaths.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def script():
+    return load_script()
+
+
+@pytest.fixture(autouse=True)
+def _close_global_tracer():
+    yield
+    from repro.obs import trace
+
+    trace.close()
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("workload", ["joint", "simulate", "sweep"])
+    def test_smoke_and_trace_schema(self, script, workload, tmp_path, capsys):
+        path = tmp_path / "prof.jsonl"
+        rc = script.main([workload, "--repeat", "1", "--top", "5",
+                          "--trace", str(path)])
+        assert rc == 0
+        assert path.exists()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[0]["type"] == "meta"
+        assert records[0]["schema"] == 1
+        assert records[0]["attrs"]["workloads"] == [workload]
+        names = {r.get("name") for r in records if r.get("type") == "span"}
+        assert f"workload.{workload}" in names
+        for rec in records[1:]:
+            assert rec["type"] in ("span", "event")
+            if rec["type"] == "span":
+                assert {"span_id", "parent_id", "depth", "wall_s",
+                        "cpu_s", "ts"} <= set(rec)
+        out = capsys.readouterr().out
+        assert "span" in out  # the hot-span table header
+
+    def test_sweep_workload_prints_attribution(self, script, tmp_path,
+                                               capsys):
+        rc = script.main(["sweep", "--repeat", "1",
+                          "--trace", str(tmp_path / "prof.jsonl")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # sweep workloads route through the attribution profiler
+        assert "pool capacity" in out
+        assert "parent" in out
+
+    def test_folded_export(self, script, tmp_path):
+        folded = tmp_path / "prof.folded"
+        rc = script.main(["simulate", "--repeat", "1",
+                          "--trace", str(tmp_path / "prof.jsonl"),
+                          "--folded", str(folded)])
+        assert rc == 0
+        lines = folded.read_text().splitlines()
+        assert lines
+        for line in lines:
+            path_part, _, value = line.rpartition(" ")
+            assert path_part and int(value) >= 0
+        # paths are rooted at the workload span the script opened
+        assert any(line.startswith("workload.simulate") for line in lines)
+
+    def test_scratch_trace_is_removed(self, script, tmp_path, monkeypatch,
+                                      capsys):
+        monkeypatch.setenv("TMPDIR", str(tmp_path))
+        import tempfile
+
+        tempfile.tempdir = None  # re-read TMPDIR
+        try:
+            assert script.main(["simulate", "--repeat", "1"]) == 0
+        finally:
+            tempfile.tempdir = None
+        capsys.readouterr()
+        assert list(tmp_path.glob("repro-prof-*.jsonl")) == []
