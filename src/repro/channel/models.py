@@ -61,6 +61,18 @@ class ChannelModel:
     def realize(self, average_gain: float, rng=None) -> LinkChannel:
         raise NotImplementedError
 
+    def realize_taps(self, average_gains: np.ndarray, rng=None) -> np.ndarray:
+        """Vectorized draw: ``(*shape,)`` gains -> ``(*shape, n_taps)`` taps.
+
+        One array-sized RNG draw replaces the per-link scalar draws of
+        :meth:`realize`, so a whole link matrix (or a stack of them) costs a
+        constant number of generator calls.  The stream consumption differs
+        from per-link ``realize`` calls by construction; every consumer of a
+        given sweep kernel must pick one of the two APIs and stick to it
+        (the batched sweep path uses this one exclusively).
+        """
+        raise NotImplementedError
+
 
 @dataclass
 class FlatRayleighChannel(ChannelModel):
@@ -70,6 +82,12 @@ class FlatRayleighChannel(ChannelModel):
         rng = ensure_rng(rng)
         tap = complex_normal(rng, (), scale=np.sqrt(average_gain))
         return LinkChannel(taps=np.array([tap]))
+
+    def realize_taps(self, average_gains: np.ndarray, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        gains = np.asarray(average_gains, dtype=float)
+        taps = complex_normal(rng, gains.shape, scale=1.0) * np.sqrt(gains)
+        return taps[..., np.newaxis]
 
 
 @dataclass
@@ -88,6 +106,17 @@ class RicianChannel(ChannelModel):
             rng, (), scale=np.sqrt(nlos_power)
         )
         return LinkChannel(taps=np.array([tap]))
+
+    def realize_taps(self, average_gains: np.ndarray, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        gains = np.asarray(average_gains, dtype=float)
+        k = self.k_factor
+        los_power = gains * k / (k + 1.0)
+        nlos_power = gains / (k + 1.0)
+        los_phases = rng.uniform(-np.pi, np.pi, gains.shape)
+        scatter = complex_normal(rng, gains.shape, scale=1.0) * np.sqrt(nlos_power)
+        taps = np.sqrt(los_power) * np.exp(1j * los_phases) + scatter
+        return taps[..., np.newaxis]
 
 
 @dataclass
@@ -121,6 +150,25 @@ class MultipathChannel(ChannelModel):
             taps[0] = los + scatter
         return LinkChannel(taps=taps)
 
+    def realize_taps(self, average_gains: np.ndarray, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        require(self.n_taps >= 1, "need at least one tap")
+        gains = np.asarray(average_gains, dtype=float)
+        profile = 10.0 ** (-self.decay_per_tap_db * np.arange(self.n_taps) / 10.0)
+        profile = profile / profile.sum()
+        power = profile * gains[..., np.newaxis]
+        taps = complex_normal(rng, power.shape, scale=1.0) * np.sqrt(power)
+        if self.rician_k_first_tap > 0:
+            k = self.rician_k_first_tap
+            first = power[..., 0]
+            los_phases = rng.uniform(-np.pi, np.pi, gains.shape)
+            los = np.sqrt(first * k / (k + 1.0)) * np.exp(1j * los_phases)
+            scatter = complex_normal(rng, gains.shape, scale=1.0) * np.sqrt(
+                first / (k + 1.0)
+            )
+            taps[..., 0] = los + scatter
+        return taps
+
 
 def random_channel_matrix(
     n_rx: int,
@@ -132,12 +180,11 @@ def random_channel_matrix(
     """Draw an (n_rx, n_tx) matrix of i.i.d. single-tap channels.
 
     Convenience for frequency-flat analyses like the Fig. 6 microbenchmark
-    (100 random channel matrices).
+    (100 random channel matrices).  Draws the whole matrix in one vectorized
+    :meth:`ChannelModel.realize_taps` call, so a batched caller looping
+    trials consumes the RNG stream identically to this scalar helper.
     """
     rng = ensure_rng(rng)
     model = model or FlatRayleighChannel()
-    matrix = np.empty((n_rx, n_tx), dtype=complex)
-    for i in range(n_rx):
-        for j in range(n_tx):
-            matrix[i, j] = model.realize(average_gain, rng=rng).taps[0]
-    return matrix
+    gains = np.full((n_rx, n_tx), float(average_gain))
+    return model.realize_taps(gains, rng=rng)[..., 0]

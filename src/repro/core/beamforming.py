@@ -31,14 +31,17 @@ def zero_forcing_precoder(channel: np.ndarray, max_power_per_antenna: float = 1.
     Returns:
         (precoder, k): ``precoder`` is (n_antennas, n_clients) so the antenna
         signal vector is ``precoder @ x``; ``k`` is the effective diagonal
-        gain each client sees.
+        gain each client sees.  A stack of matrices (leading batch axes) is
+        accepted and returns a stacked precoder plus an array ``k`` — the
+        stacked ``np.linalg`` results are bit-identical to matrix-at-a-time
+        calls, which the backend-equivalence harness relies on.
 
     Raises:
         np.linalg.LinAlgError: If the channel matrix is singular.
     """
     channel = np.asarray(channel, dtype=complex)
-    require(channel.ndim == 2, "channel must be a matrix")
-    n_clients, n_antennas = channel.shape
+    require(channel.ndim >= 2, "channel must be a matrix (or a stack of them)")
+    n_clients, n_antennas = channel.shape[-2], channel.shape[-1]
     require(
         n_antennas >= n_clients,
         f"need at least as many antennas ({n_antennas}) as clients ({n_clients})",
@@ -49,11 +52,14 @@ def zero_forcing_precoder(channel: np.ndarray, max_power_per_antenna: float = 1.
         inverse = np.linalg.pinv(channel)
         _check_right_inverse(channel, inverse)
     # per-antenna transmit power for unit-power streams: row norms squared
-    row_power = np.sum(np.abs(inverse) ** 2, axis=1)
-    worst = float(np.max(row_power))
-    require(worst > 0, "degenerate channel")
-    k = float(np.sqrt(max_power_per_antenna / worst))
-    return k * inverse, k
+    row_power = np.sum(np.abs(inverse) ** 2, axis=-1)
+    worst = np.max(row_power, axis=-1)
+    require(bool(np.all(worst > 0)), "degenerate channel")
+    k = np.sqrt(max_power_per_antenna / worst)
+    if channel.ndim == 2:
+        k = float(k)
+        return k * inverse, k
+    return k[..., None, None] * inverse, k
 
 
 def _check_right_inverse(channel: np.ndarray, inverse: np.ndarray) -> None:
@@ -63,7 +69,7 @@ def _check_right_inverse(channel: np.ndarray, inverse: np.ndarray) -> None:
     collinear clients) but the result is a least-squares fit, not a right
     inverse — beamforming with it would silently mix the streams.
     """
-    residual = channel @ inverse - np.eye(channel.shape[0])
+    residual = channel @ inverse - np.eye(channel.shape[-2])
     if np.max(np.abs(residual)) > 1e-6:
         raise np.linalg.LinAlgError(
             "channel matrix is (numerically) rank deficient; streams cannot "
@@ -85,32 +91,50 @@ def zero_forcing_precoder_wideband(
     known "in each subcarrier", giving signal strength k^2 everywhere).
 
     Args:
-        channels: (n_bins, n_clients, n_antennas) channel tensor.
+        channels: (n_bins, n_clients, n_antennas) channel tensor, or a stack
+            of them with leading batch axes (e.g. a trial axis).
 
     Returns:
-        (precoders, k): precoders is (n_bins, n_antennas, n_clients); the
-        effective channel on every bin is ``k I``.
+        (precoders, k): precoders is (..., n_bins, n_antennas, n_clients);
+        the effective channel on every bin is ``k I``.  ``k`` is a float for
+        a single tensor and a (...,)-shaped array for a stack.
 
     Raises:
         np.linalg.LinAlgError: If any subcarrier's matrix is singular.
     """
     channels = np.asarray(channels, dtype=complex)
-    require(channels.ndim == 3, "need (n_bins, n_clients, n_antennas)")
-    n_bins, n_clients, n_antennas = channels.shape
+    require(channels.ndim >= 3, "need (..., n_bins, n_clients, n_antennas)")
+    n_clients, n_antennas = channels.shape[-2], channels.shape[-1]
     require(n_antennas >= n_clients, "need at least as many antennas as clients")
-    inverses = np.empty((n_bins, n_antennas, n_clients), dtype=complex)
-    for b in range(n_bins):
+    if channels.ndim == 3:
+        # Reference path: one matrix inversion per subcarrier, kept loopy so
+        # it stays trivially auditable against §4's per-subcarrier math.
+        n_bins = channels.shape[0]
+        inverses = np.empty((n_bins, n_antennas, n_clients), dtype=complex)
+        for b in range(n_bins):
+            if n_antennas == n_clients:
+                inverses[b] = np.linalg.inv(channels[b])
+            else:
+                inverses[b] = np.linalg.pinv(channels[b])
+                _check_right_inverse(channels[b], inverses[b])
+    else:
+        # Batched path: stacked inv/pinv over all bins of all trials at once.
+        # Stacked np.linalg results are bit-identical to the per-matrix loop
+        # above (pinned by tests/runtime/test_backend_equivalence.py).
         if n_antennas == n_clients:
-            inverses[b] = np.linalg.inv(channels[b])
+            inverses = np.linalg.inv(channels)
         else:
-            inverses[b] = np.linalg.pinv(channels[b])
-            _check_right_inverse(channels[b], inverses[b])
+            inverses = np.linalg.pinv(channels)
+            _check_right_inverse(channels, inverses)
     # per-antenna power averaged over subcarriers, for unit-power streams
-    per_antenna = np.mean(np.sum(np.abs(inverses) ** 2, axis=2), axis=0)
-    worst = float(np.max(per_antenna))
-    require(worst > 0, "degenerate channel")
-    k = float(np.sqrt(max_power_per_antenna / worst))
-    return k * inverses, k
+    per_antenna = np.mean(np.sum(np.abs(inverses) ** 2, axis=-1), axis=-2)
+    worst = np.max(per_antenna, axis=-1)
+    require(bool(np.all(worst > 0)), "degenerate channel")
+    k = np.sqrt(max_power_per_antenna / worst)
+    if channels.ndim == 3:
+        k = float(k)
+        return k * inverses, k
+    return k[..., None, None, None] * inverses, k
 
 
 def diversity_precoder(channel_row: np.ndarray, max_power_per_antenna: float = 1.0) -> np.ndarray:
@@ -199,6 +223,56 @@ def snr_reduction_from_misalignment(
     errors[misaligned_antenna] = misalignment_rad
     misaligned = sinr_after_beamforming(channel, precoder, noise_power, errors)
     return linear_to_db(aligned) - linear_to_db(misaligned)
+
+
+def snr_reduction_grid(
+    channels: np.ndarray,
+    misalignments: np.ndarray,
+    snrs_db: np.ndarray,
+    misaligned_antenna: int = -1,
+) -> np.ndarray:
+    """Batched Fig. 6 grid: SNR loss for every (channel, snr, misalignment).
+
+    Vectorized equivalent of calling :func:`snr_reduction_from_misalignment`
+    for each (snr_db, misalignment) pair on each channel of a stack: the ZF
+    precoder is computed once per channel (stacked), then one broadcast
+    matmul evaluates every misalignment on every channel.  Because the
+    scalar helper recomputes the *same* precoder deterministically per call,
+    the grid is bit-identical to the scalar nest.
+
+    Args:
+        channels: (..., n_clients, n_antennas) channel matrix stack.
+        misalignments: (M,) phase errors in radians.
+        snrs_db: (S,) aligned-system SNR operating points.
+
+    Returns:
+        (..., S, M, n_clients) per-client SNR reduction in dB.
+    """
+    channels = np.asarray(channels, dtype=complex)
+    mis = np.atleast_1d(np.asarray(misalignments, dtype=float))
+    snrs = np.atleast_1d(np.asarray(snrs_db, dtype=float))
+    precoder, k = zero_forcing_precoder(channels)
+    k = np.asarray(k, dtype=float)
+    noise = k[..., None] ** 2 / 10.0 ** (snrs / 10.0)  # (..., S)
+
+    eff0 = channels @ precoder  # (..., C, C)
+    sig0 = np.abs(np.diagonal(eff0, axis1=-2, axis2=-1)) ** 2
+    intf0 = np.sum(np.abs(eff0) ** 2, axis=-1) - sig0
+    aligned = sig0[..., None, :] / (intf0[..., None, :] + noise[..., :, None])
+
+    n_antennas = channels.shape[-1]
+    errors = np.zeros((mis.size, n_antennas))
+    errors[:, misaligned_antenna] = mis
+    rotation = np.exp(1j * errors)  # (M, A)
+    rotated = channels[..., None, :, :] * rotation[:, None, :]  # (..., M, C, A)
+    eff = rotated @ precoder[..., None, :, :]  # (..., M, C, C)
+    sig = np.abs(np.diagonal(eff, axis1=-2, axis2=-1)) ** 2  # (..., M, C)
+    intf = np.sum(np.abs(eff) ** 2, axis=-1) - sig
+    misaligned = (
+        sig[..., None, :, :]
+        / (intf[..., None, :, :] + noise[..., :, None, None])
+    )  # (..., S, M, C)
+    return linear_to_db(aligned)[..., :, None, :] - linear_to_db(misaligned)
 
 
 def interference_to_noise_ratio(

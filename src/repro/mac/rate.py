@@ -134,3 +134,26 @@ class EffectiveSnrRateSelector:
     def goodput(self, subcarrier_snr_db) -> float:
         """Bitrate after MAC overhead for these per-subcarrier SNRs (bits/s)."""
         return self.select(subcarrier_snr_db).bitrate * self.mac_efficiency
+
+    def goodput_batch(self, subcarrier_snr_db: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`goodput` over a stack of per-subcarrier rows.
+
+        ``subcarrier_snr_db`` has shape (..., n_bins); the return value has
+        shape (...,).  The MCS walk mirrors :meth:`select` — every MCS is
+        evaluated in ``ALL_MCS`` order and the last qualifying one wins —
+        with the per-row effective-SNR lookup replaced by one elementwise
+        pass per MCS, so each row's decision is bit-identical to the scalar
+        selector's.
+        """
+        rows = np.asarray(subcarrier_snr_db, dtype=float)
+        require(rows.ndim >= 1, "need at least one subcarrier axis")
+        snrs = db_to_linear(rows)
+        bitrate = np.zeros(rows.shape[:-1])
+        for mcs in ALL_MCS:
+            bers = ber_for_modulation(snrs, mcs.bits_per_subcarrier)
+            mean_ber = np.mean(bers, axis=-1)
+            eff = linear_to_db(snr_for_ber(mean_ber, mcs.bits_per_subcarrier))
+            bitrate = np.where(
+                eff >= mcs.min_snr_db, mcs.bitrate(self.sample_rate), bitrate
+            )
+        return bitrate * self.mac_efficiency

@@ -63,8 +63,10 @@ class JsonlWriter:
             self._owns = False
 
     def write(self, record: dict) -> None:
-        self._file.write(json.dumps(record, separators=(",", ":")))
-        self._file.write("\n")
+        # One write() call per record: concurrent writers (the thread
+        # backend traces from multiple threads into one sink) must never
+        # interleave a record with another record's newline.
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
 
     def flush(self) -> None:
         self._file.flush()

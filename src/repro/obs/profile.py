@@ -246,9 +246,23 @@ def profile_trace(source: Union[str, Iterable[Dict[str, Any]]]) -> TraceProfile:
         if rec.get("type") != "span" or rec.get("name") != SWEEP_SPAN:
             continue
         chunks = chunk_events.get(rec.get("span_id"), [])
-        if not chunks:
-            continue
         attrs = rec.get("attrs") or {}
+        if not chunks:
+            # A sweep span without chunk envelopes is an instrumentation
+            # regression — unless the span itself says every chunk was
+            # loaded from the checkpoint (a fully-resumed run legitimately
+            # dispatches nothing).  Emit an empty attribution for the
+            # latter so `repro obs profile` renders it instead of exiting 1.
+            resumed = attrs.get("resumed")
+            if resumed is not None and int(resumed) == int(attrs.get("chunks", -1)):
+                attributions.append(attribute_chunks(
+                    [],
+                    wall_s=float(rec.get("wall_s", 0.0)),
+                    workers=int(attrs.get("workers", 1)),
+                    start_ts=float(rec.get("ts", 0.0)),
+                    sweep=str(attrs.get("sweep", "?")),
+                ))
+            continue
         # The span record's ts is its *entry* time; wall_s its duration.
         attributions.append(attribute_chunks(
             chunks,
@@ -318,7 +332,7 @@ def _fmt_component(seconds: float, wall: float) -> str:
 def format_attribution(attribution: SweepAttribution) -> str:
     """Render one sweep's attribution as an aligned text table."""
     a = attribution
-    modes = ", ".join(f"{k} {v}" for k, v in sorted(a.modes.items()))
+    modes = ", ".join(f"{k} {v}" for k, v in sorted(a.modes.items())) or "resumed"
     lines = [
         f"sweep {a.sweep!r}: wall {a.wall_s:.3f}s, workers {a.workers}, "
         f"{a.chunks} chunks ({modes}), {a.trials} trials",

@@ -3,13 +3,16 @@
 Public surface:
 
 * :func:`run_sweep` / :class:`CellSpec` / :class:`SweepResult` — the
-  process-pool sweep engine (:mod:`repro.runtime.engine`).
+  backend-selecting sweep engine (:mod:`repro.runtime.engine`).
+* :data:`BACKENDS` / :func:`resolve_backend` /
+  :func:`register_batched_kernel` / :func:`batched_kernel_for` — the
+  execution-backend layer (serial / thread / process / batched / auto).
 * :func:`seed_sequence` / :func:`task_rng` / :func:`spawn_key` — per-task
   seed derivation (:mod:`repro.runtime.seeding`).
 * Checkpoint plumbing (:mod:`repro.runtime.checkpoint`).
 
-See ``docs/parallelism.md`` for the determinism guarantees and the
-checkpoint file format.
+See ``docs/parallelism.md`` for the determinism guarantees, the backend
+decision table and the checkpoint file format.
 """
 
 from repro.runtime.checkpoint import (
@@ -19,35 +22,49 @@ from repro.runtime.checkpoint import (
     sweep_header,
 )
 from repro.runtime.engine import (
+    BACKENDS,
+    BATCHED_CHUNK_SIZE,
     DEFAULT_CHUNK_SIZE,
     MEMORY_ENV_FLAG,
+    POOL_MIN_TRIALS,
     WORKER_ENV_FLAG,
     CellSpec,
     SweepError,
     SweepResult,
     assemble_results,
+    batched_kernel_for,
     drain_overheads,
     iter_chunks,
+    register_batched_kernel,
+    resolve_backend,
     run_chunk,
+    run_chunk_batched,
     run_chunk_instrumented,
     run_sweep,
 )
 from repro.runtime.seeding import seed_sequence, spawn_key, task_rng
 
 __all__ = [
+    "BACKENDS",
+    "BATCHED_CHUNK_SIZE",
     "CHECKPOINT_VERSION",
     "CheckpointMismatch",
     "CellSpec",
     "DEFAULT_CHUNK_SIZE",
     "MEMORY_ENV_FLAG",
+    "POOL_MIN_TRIALS",
     "SweepError",
     "SweepResult",
     "WORKER_ENV_FLAG",
     "assemble_results",
+    "batched_kernel_for",
     "drain_overheads",
     "iter_chunks",
     "load_completed",
+    "register_batched_kernel",
+    "resolve_backend",
     "run_chunk",
+    "run_chunk_batched",
     "run_chunk_instrumented",
     "run_sweep",
     "seed_sequence",

@@ -52,9 +52,15 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 import tracemalloc
-from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -72,6 +78,25 @@ logger = get_logger(__name__)
 #: Default trials per work item; small enough to load-balance, large enough
 #: to amortize task dispatch.
 DEFAULT_CHUNK_SIZE = 4
+
+#: Trials per work item on the batched backend.  Much larger than
+#: DEFAULT_CHUNK_SIZE on purpose: a batched chunk is one stacked-ndarray
+#: kernel call, so the python/dispatch cost is per *chunk* rather than per
+#: trial and bigger chunks amortize it further (load balancing is moot —
+#: batched chunks run in-parent).
+BATCHED_CHUNK_SIZE = 32
+
+#: The selectable execution backends (see :func:`resolve_backend`).
+BACKENDS = ("auto", "serial", "thread", "process", "batched")
+
+#: ``auto``: minimum total pending trials before a process pool can beat
+#: serial.  Calibrated from the PR-6 overhead envelopes in
+#: ``BENCH_sweeps.json``: pool dispatch + result serialization cost
+#: ~10-15 ms per chunk against per-trial compute of ~1-3 ms, so small
+#: sweeps lose outright (recorded speedups 0.71-0.96x) and only grids in
+#: the many-hundreds of trials can amortize the envelope even with real
+#: cores available.
+POOL_MIN_TRIALS = 512
 
 #: Environment marker set in pool workers (via the pool initializer), so
 #: kernels and tests can tell worker context from the parent process.
@@ -118,6 +143,82 @@ def drain_overheads() -> List[Dict[str, Any]]:
 
 class SweepError(RuntimeError):
     """A sweep could not produce a complete, consistent result."""
+
+
+#: A batched kernel: ``(params, seeds) -> [result, ...]`` — one result per
+#: seed, in order, each bit-identical (or documented-tolerance-identical)
+#: to ``kernel(params, seed)`` on the matching seed.
+BatchedKernel = Callable[[Any, Sequence[Any]], Sequence[Any]]
+
+_BATCHED_KERNELS: Dict[Callable[[Any, Any], Any], BatchedKernel] = {}
+
+
+def register_batched_kernel(
+    kernel: Callable[[Any, Any], Any], batched: BatchedKernel
+) -> None:
+    """Register ``batched`` as the vectorized twin of scalar ``kernel``.
+
+    The registry is keyed on the kernel function object; modules register
+    their batched twins at import time so :func:`run_sweep` can resolve
+    them for the ``batched``/``auto`` backends.  The contract — enforced by
+    ``tests/runtime/test_backend_equivalence.py`` — is that
+    ``batched(params, seeds)`` returns one result per seed, equal to the
+    scalar kernel's output for that seed.
+    """
+    _BATCHED_KERNELS[kernel] = batched
+
+
+def batched_kernel_for(
+    kernel: Callable[[Any, Any], Any],
+) -> Optional[BatchedKernel]:
+    """The registered batched twin of ``kernel``, or None."""
+    return _BATCHED_KERNELS.get(kernel)
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_backend(
+    backend: Optional[str],
+    kernel: Callable[[Any, Any], Any],
+    workers: int,
+    total_trials: int,
+) -> str:
+    """Map a requested backend to the concrete execution mode of this run.
+
+    * ``None`` keeps the legacy semantics exactly: ``workers > 1`` means the
+      process pool, otherwise serial.
+    * ``"auto"`` prefers a registered batched twin (one core is enough for
+      its speedup); otherwise it picks the process pool only when there are
+      real cores *and* enough trials (``POOL_MIN_TRIALS``) to amortize the
+      PR-6 dispatch envelopes, falling back to serial.
+    * ``"batched"`` requires a registered twin and raises
+      :class:`SweepError` without one.
+    * ``"serial"``, ``"thread"`` and ``"process"`` are taken literally.
+    """
+    if backend is None:
+        return "process" if workers > 1 else "serial"
+    require(
+        backend in BACKENDS,
+        f"unknown backend {backend!r}; expected one of {BACKENDS}",
+    )
+    if backend == "auto":
+        if batched_kernel_for(kernel) is not None:
+            return "batched"
+        if workers > 1 and _usable_cpus() >= 2 and total_trials >= POOL_MIN_TRIALS:
+            return "process"
+        return "serial"
+    if backend == "batched" and batched_kernel_for(kernel) is None:
+        raise SweepError(
+            f"backend 'batched' requested but no batched implementation is "
+            f"registered for kernel {getattr(kernel, '__name__', kernel)!r} "
+            "(see register_batched_kernel)"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -199,28 +300,23 @@ def run_chunk(
     return out
 
 
-def run_chunk_instrumented(
-    kernel: Callable[[Any, Any], Any],
+def _instrument_chunk(
+    work: Callable[[], List[list]],
     sweep: str,
-    master_seed: int,
-    params: Any,
     cell_index: int,
     chunk_index: int,
-    start: int,
-    stop: int,
-    measure_ser: bool = True,
+    trials: int,
+    measure_ser: bool,
 ) -> Envelope:
-    """Run one chunk wrapped in dispatch-overhead accounting.
+    """Run one chunk of work wrapped in dispatch-overhead accounting.
 
-    The work is exactly :func:`run_chunk`; around it this records receive/
-    done wall-clock timestamps (``time.time()``, comparable across
-    processes on one machine), wall/CPU compute time, peak memory when
-    tracemalloc is live, and — for pool workers — the cost of pickling the
-    result payload, measured once here so the parent sees the real
-    transfer size.  ``measure_ser=False`` (serial and retry paths, where no
-    pickling happens) skips that probe so in-process runs aren't charged
-    for work they don't do.  Returns an *envelope* dict with the result
-    under ``"pairs"`` plus the accounting fields.
+    Records receive/done wall-clock timestamps (``time.time()``, comparable
+    across processes on one machine), wall/CPU compute time, the executing
+    thread id (so the thread backend can attribute per-thread), peak memory
+    when tracemalloc is live, and — when ``measure_ser`` — the cost of
+    pickling the result payload, measured once here so the parent sees the
+    real transfer size.  Returns an *envelope* dict with the result under
+    ``"pairs"`` plus the accounting fields.
     """
     recv_ts = time.time()
     sample_mem = tracemalloc.is_tracing()
@@ -229,15 +325,14 @@ def run_chunk_instrumented(
     timer = Timer().start()
     with trace.span(
         "runtime.chunk", sweep=sweep, cell=cell_index, chunk=chunk_index,
-        trials=stop - start,
+        trials=trials,
     ):
-        pairs = run_chunk(
-            kernel, sweep, master_seed, params, cell_index, start, stop
-        )
+        pairs = work()
     timer.stop()
     envelope: Envelope = {
         "pairs": pairs,
         "worker_pid": os.getpid(),
+        "worker_tid": threading.get_ident(),
         "recv_ts": recv_ts,
         "wall_s": timer.wall_s,
         "cpu_s": timer.cpu_s,
@@ -258,6 +353,82 @@ def run_chunk_instrumented(
         trace.flush()
     envelope["done_ts"] = time.time()
     return envelope
+
+
+def run_chunk_instrumented(
+    kernel: Callable[[Any, Any], Any],
+    sweep: str,
+    master_seed: int,
+    params: Any,
+    cell_index: int,
+    chunk_index: int,
+    start: int,
+    stop: int,
+    measure_ser: bool = True,
+) -> Envelope:
+    """Run one scalar-kernel chunk wrapped in dispatch-overhead accounting.
+
+    The work is exactly :func:`run_chunk`; the accounting envelope is
+    described at :func:`_instrument_chunk`.  ``measure_ser=False`` (serial
+    and retry paths, where no pickling happens) skips the serialization
+    probe so in-process runs aren't charged for work they don't do.
+    """
+    return _instrument_chunk(
+        lambda: run_chunk(
+            kernel, sweep, master_seed, params, cell_index, start, stop
+        ),
+        sweep, cell_index, chunk_index, stop - start, measure_ser,
+    )
+
+
+def run_chunk_batched(
+    batched: BatchedKernel,
+    sweep: str,
+    master_seed: int,
+    params: Any,
+    cell_index: int,
+    start: int,
+    stop: int,
+) -> List[list]:
+    """Run one chunk through a batched kernel; ``[[trial, result], ...]``.
+
+    Seeds are derived per trial exactly as :func:`run_chunk` derives them —
+    the batched kernel receives the same ``SeedSequence`` list a serial
+    chunk would consume one-by-one, which is what makes batched results
+    comparable across backends.
+    """
+    seeds = [
+        seed_sequence(master_seed, sweep, cell_index, t)
+        for t in range(start, stop)
+    ]
+    results = batched(params, seeds)
+    if len(results) != stop - start:
+        raise SweepError(
+            f"batched kernel returned {len(results)} results for "
+            f"{stop - start} seeds (cell {cell_index}, trials "
+            f"[{start}, {stop}))"
+        )
+    return [[t, jsonable(r)] for t, r in zip(range(start, stop), results)]
+
+
+def run_chunk_batched_instrumented(
+    batched: BatchedKernel,
+    sweep: str,
+    master_seed: int,
+    params: Any,
+    cell_index: int,
+    chunk_index: int,
+    start: int,
+    stop: int,
+) -> Envelope:
+    """Batched twin of :func:`run_chunk_instrumented` (always in-process,
+    so the serialization probe is skipped)."""
+    return _instrument_chunk(
+        lambda: run_chunk_batched(
+            batched, sweep, master_seed, params, cell_index, start, stop
+        ),
+        sweep, cell_index, chunk_index, stop - start, measure_ser=False,
+    )
 
 
 def _worker_init(trace_context: Optional[Dict[str, Any]] = None) -> None:
@@ -291,10 +462,17 @@ def _account_chunk(
 ) -> None:
     """Fold a completed chunk's envelope into metrics and a trace event.
 
-    Parent-side only.  ``mode`` is ``"pool"``, ``"serial"`` or ``"retry"``;
-    serial and retry chunks ran in the parent process and are attributed to
-    the synthetic worker ``"parent"``.
+    Parent-side only.  ``mode`` is ``"pool"``, ``"thread"``, ``"batched"``,
+    ``"serial"`` or ``"retry"``; pool chunks are attributed per worker
+    process, thread chunks per thread, and everything that ran inline in
+    the parent's main thread to the synthetic worker ``"parent"``.
     """
+    if mode == "pool":
+        worker = f"pid:{envelope['worker_pid']}"
+    elif mode == "thread":
+        worker = f"tid:{envelope.get('worker_tid', 0)}"
+    else:
+        worker = "parent"
     recv_ts = float(envelope["recv_ts"])
     done_ts = float(envelope["done_ts"])
     rec: Dict[str, Any] = {
@@ -303,7 +481,7 @@ def _account_chunk(
         "chunk": task[1],
         "trials": task[3] - task[2],
         "mode": mode,
-        "worker": f"pid:{envelope['worker_pid']}" if mode == "pool" else "parent",
+        "worker": worker,
         "submit_ts": submit_ts,
         "recv_ts": recv_ts,
         "done_ts": done_ts,
@@ -366,11 +544,12 @@ def run_sweep(
     cells: Sequence[CellSpec],
     master_seed: int,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Optional[int] = None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    backend: Optional[str] = None,
 ) -> SweepResult:
-    """Run a sweep grid, serially or across a process pool.
+    """Run a sweep grid on the selected execution backend.
 
     Args:
         name: Sweep name; part of every task's seed-derivation key, and
@@ -381,17 +560,34 @@ def run_sweep(
             and arrays are folded to plain Python).
         cells: The sweep grid.
         master_seed: Root of all derived seeds.
-        workers: Pool size; ``1`` runs in-process with no multiprocessing.
-        chunk_size: Trials per work item.
+        workers: Pool/thread count for the process and thread backends;
+            ignored by serial and batched execution.
+        chunk_size: Trials per work item.  ``None`` picks the backend's
+            default (``BATCHED_CHUNK_SIZE`` for batched execution,
+            ``DEFAULT_CHUNK_SIZE`` otherwise) — note the chunk size is part
+            of the checkpoint header, so resuming a checkpoint under a
+            backend with a different default requires passing the original
+            chunk size explicitly.
         checkpoint: Optional JSONL progress-file path.
         resume: Skip chunks already present in ``checkpoint``.
+        backend: One of :data:`BACKENDS`, or ``None`` for the legacy
+            mapping (``workers > 1`` -> process pool, else serial).  See
+            :func:`resolve_backend`.
 
     Returns:
         A :class:`SweepResult` whose ``results`` are bit-identical for any
-        ``workers``/chunking/resume combination at the same master seed.
+        ``workers``/chunking/resume/backend combination at the same master
+        seed (up to each kernel's documented batched tolerance).
     """
     cells = list(cells)
     require(workers >= 1, "workers must be >= 1")
+    total_trials = sum(cell.n_trials for cell in cells)
+    mode = resolve_backend(backend, kernel, workers, total_trials)
+    if chunk_size is None:
+        chunk_size = BATCHED_CHUNK_SIZE if mode == "batched" else DEFAULT_CHUNK_SIZE
+    # serial and batched chunks run inline in the parent; only the pool and
+    # thread backends actually occupy `workers` execution lanes
+    effective_workers = workers if mode in ("process", "thread") else 1
     header = sweep_header(name, master_seed, chunk_size, cells)
     completed, writer = open_checkpoint(checkpoint, resume, header)
     resumed = len(completed)
@@ -408,8 +604,8 @@ def run_sweep(
     progress = SweepProgress(
         name=name,
         total_chunks=len(tasks),
-        total_trials=sum(cell.n_trials for cell in cells),
-        workers=workers,
+        total_trials=total_trials,
+        workers=effective_workers,
         resumed_chunks=resumed,
         resumed_trials=sum(len(pairs) for pairs in completed.values()),
     )
@@ -429,13 +625,15 @@ def run_sweep(
         started_mem = True
     sweep_timer = Timer()
     with trace.span(
-        "runtime.sweep", sweep=name, workers=workers, chunks=len(tasks),
-        resumed=resumed,
+        "runtime.sweep", sweep=name, workers=effective_workers,
+        chunks=len(tasks), resumed=resumed, backend=mode,
     ) as span:
         sweep_timer.start()
         start_ts = time.time()
         try:
-            if workers == 1 or not pending:
+            if not pending:
+                pass
+            elif mode == "serial":
                 for task in pending:
                     cell_index, chunk_index, start, stop = task
                     submit_ts = time.time()
@@ -445,6 +643,16 @@ def run_sweep(
                     )
                     _account_chunk(acct, name, task, "serial", submit_ts, envelope)
                     finish(task, envelope["pairs"])
+            elif mode == "batched":
+                failures = _run_batched(
+                    name, kernel, cells, master_seed, pending, finish,
+                    progress, acct,
+                )
+            elif mode == "thread":
+                failures = _run_threads(
+                    name, kernel, cells, master_seed, workers, pending, finish,
+                    progress, acct,
+                )
             else:
                 failures = _run_pool(
                     name, kernel, cells, master_seed, workers, pending, finish,
@@ -460,7 +668,7 @@ def run_sweep(
         overhead: Optional[Dict[str, Any]] = None
         if acct:
             overhead = attribute_chunks(
-                acct, sweep_timer.wall_s, workers, start_ts, sweep=name
+                acct, sweep_timer.wall_s, effective_workers, start_ts, sweep=name
             ).to_dict()
             _SWEEP_OVERHEADS.append(overhead)
             span.record(
@@ -482,6 +690,133 @@ def run_sweep(
         resumed_chunks=resumed,
         overhead=overhead,
     )
+
+
+def _run_batched(
+    name: str,
+    kernel: Callable[[Any, Any], Any],
+    cells: Sequence[CellSpec],
+    master_seed: int,
+    pending: Sequence[Task],
+    finish: Callable[[Task, List[list]], None],
+    progress: Optional[SweepProgress] = None,
+    acct: Optional[List[Dict[str, Any]]] = None,
+) -> int:
+    """Run chunks through the kernel's batched twin, in-parent.
+
+    Returns the number of chunks whose batched call failed and were
+    re-run serially through the scalar kernel — the same graceful
+    degradation the pool backend applies to dead workers, so a numerical
+    edge case in the vectorized path (e.g. a singular stacked matrix)
+    costs one chunk of speedup instead of the sweep.
+    """
+    batched = batched_kernel_for(kernel)
+    if batched is None:  # resolve_backend guarantees this; belt and braces
+        raise SweepError(f"no batched kernel registered for {kernel!r}")
+    failures = 0
+    acct_list: List[Dict[str, Any]] = [] if acct is None else acct
+    for task in pending:
+        cell_index, chunk_index, start, stop = task
+        submit_ts = time.time()
+        try:
+            envelope = run_chunk_batched_instrumented(
+                batched, name, master_seed, cells[cell_index].params,
+                cell_index, chunk_index, start, stop,
+            )
+            _account_chunk(acct_list, name, task, "batched", submit_ts, envelope)
+        except Exception as exc:
+            failures += 1
+            _CHUNK_FAILURES.inc()
+            if progress is not None:
+                progress.chunk_failed()
+            logger.warning(
+                "batched chunk (cell=%d, chunk=%d) of sweep %r failed "
+                "(%s: %s); retrying serially through the scalar kernel",
+                cell_index, chunk_index, name, type(exc).__name__, exc,
+            )
+            trace.event(
+                "runtime.chunk_failure", sweep=name, cell=cell_index,
+                chunk=chunk_index, error=type(exc).__name__,
+            )
+            retry_ts = time.time()
+            envelope = run_chunk_instrumented(
+                kernel, name, master_seed, cells[cell_index].params,
+                cell_index, chunk_index, start, stop, measure_ser=False,
+            )
+            _SERIAL_RETRIES.inc()
+            if progress is not None:
+                progress.retry_done()
+            _account_chunk(acct_list, name, task, "retry", retry_ts, envelope)
+        finish(task, envelope["pairs"])
+    return failures
+
+
+def _run_threads(
+    name: str,
+    kernel: Callable[[Any, Any], Any],
+    cells: Sequence[CellSpec],
+    master_seed: int,
+    workers: int,
+    pending: Sequence[Task],
+    finish: Callable[[Task, List[list]], None],
+    progress: Optional[SweepProgress] = None,
+    acct: Optional[List[Dict[str, Any]]] = None,
+) -> int:
+    """Dispatch chunks to a thread pool; retry failures in the main thread.
+
+    Shares the parent's memory, tracer and metrics registry — no pickling,
+    no shards, no worker env flag — so the only overhead is queueing and
+    the GIL contention of the kernels' pure-python glue (numpy releases
+    the GIL inside BLAS/FFT calls).  Returns the number of chunks retried
+    after an in-thread kernel failure.
+    """
+    failures = 0
+    acct_list: List[Dict[str, Any]] = [] if acct is None else acct
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures: Dict[Future[Envelope], Tuple[Task, float]] = {}
+        for task in pending:
+            submit_ts = time.time()
+            future = pool.submit(
+                run_chunk_instrumented, kernel, name, master_seed,
+                cells[task[0]].params, task[0], task[1], task[2], task[3],
+                False,
+            )
+            futures[future] = (task, submit_ts)
+        for future in as_completed(futures):
+            task, submit_ts = futures[future]
+            cell_index, chunk_index, start, stop = task
+            try:
+                envelope = future.result()
+                _account_chunk(
+                    acct_list, name, task, "thread", submit_ts, envelope
+                )
+            except Exception as exc:
+                failures += 1
+                _CHUNK_FAILURES.inc()
+                if progress is not None:
+                    progress.chunk_failed()
+                logger.warning(
+                    "chunk (cell=%d, chunk=%d) of sweep %r failed in a "
+                    "thread (%s: %s); retrying in the main thread",
+                    cell_index, chunk_index, name, type(exc).__name__, exc,
+                )
+                trace.event(
+                    "runtime.chunk_failure", sweep=name, cell=cell_index,
+                    chunk=chunk_index, error=type(exc).__name__,
+                )
+                retry_ts = time.time()
+                envelope = run_chunk_instrumented(
+                    kernel, name, master_seed, cells[cell_index].params,
+                    cell_index, chunk_index, start, stop, measure_ser=False,
+                )
+                _SERIAL_RETRIES.inc()
+                if progress is not None:
+                    progress.retry_done()
+                _account_chunk(
+                    acct_list, name, task, "retry", retry_ts, envelope
+                )
+            finish(task, envelope["pairs"])
+    return failures
 
 
 def _run_pool(

@@ -121,6 +121,7 @@ def run_sync_strategy_ablation(
     workers: int = 1,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    backend: Optional[str] = None,
 ) -> SyncAblationResult:
     """Measure genie slave misalignment for each strategy and elapsed time.
 
@@ -146,6 +147,7 @@ def run_sync_strategy_ablation(
         workers=workers,
         checkpoint=checkpoint,
         resume=resume,
+        backend=backend,
     )
     trials = sweep.results[0]
     result: Dict[str, np.ndarray] = {
@@ -464,6 +466,7 @@ def run_screening_ablation(
     n_aps: Sequence[int] = (4, 8),
     n_topologies: int = 8,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> ScreeningAblationResult:
     """Fig. 9's placement screen on vs. off.
 
@@ -476,11 +479,11 @@ def run_screening_ablation(
 
     screened_run = run_fig9(
         seed=seed, n_aps=tuple(n_aps), n_topologies=n_topologies,
-        max_penalty_db=2.0, workers=workers,
+        max_penalty_db=2.0, workers=workers, backend=backend,
     )
     unscreened_run = run_fig9(
         seed=seed, n_aps=tuple(n_aps), n_topologies=n_topologies,
-        max_penalty_db=None, workers=workers,
+        max_penalty_db=None, workers=workers, backend=backend,
     )
     return ScreeningAblationResult(
         n_aps=list(n_aps),

@@ -33,14 +33,18 @@ from repro.constants import (
     SNR_BANDS_DB,
     SYMBOL_LENGTH,
 )
-from repro.core.beamforming import snr_reduction_from_misalignment, zero_forcing_precoder_wideband
+from repro.core.beamforming import (
+    snr_reduction_from_misalignment,
+    snr_reduction_grid,
+    zero_forcing_precoder_wideband,
+)
 from repro.core.sounding import REFERENCE_OFFSET
 from repro.core.system import MegaMimoSystem, SystemConfig
 from repro.mac.rate import EffectiveSnrRateSelector
 from repro.obs import trace
 from repro.phy.channel_est import estimate_channel_lts
 from repro.phy.preamble import long_training_sequence, sync_header, sync_header_length
-from repro.runtime import CellSpec, run_sweep
+from repro.runtime import CellSpec, register_batched_kernel, run_sweep
 from repro.sim.fastsim import (
     SyncErrorModel,
     build_channel_tensor,
@@ -113,6 +117,34 @@ def fig6_kernel(params, seed):
     ]
 
 
+def fig6_kernel_batch(params, seeds):
+    """Batched :func:`fig6_kernel`: every trial's grid in one stacked pass.
+
+    Channel draws stay per-seed (each generator consumes exactly the scalar
+    kernel's draws); the ZF precoders and the (SNR, misalignment) grid are
+    then evaluated once over the stacked channel axis via
+    :func:`snr_reduction_grid`, bit-identically to the scalar nest.
+    """
+    channels = np.stack(
+        [
+            random_channel_matrix(params["n_rx"], params["n_tx"], rng=ensure_rng(seed))
+            for seed in seeds
+        ]
+    )
+    grid = snr_reduction_grid(
+        channels,
+        np.asarray(params["misalignments"], dtype=float),
+        np.asarray(params["snrs_db"], dtype=float),
+    )  # (n_trials, n_snrs, n_mis, n_clients)
+    losses = np.mean(np.ascontiguousarray(grid), axis=-1)
+    return [
+        [[float(v) for v in row] for row in losses[t]] for t in range(len(seeds))
+    ]
+
+
+register_batched_kernel(fig6_kernel, fig6_kernel_batch)
+
+
 def run_fig6(
     seed: int = 1,
     n_channels: int = 100,
@@ -121,6 +153,7 @@ def run_fig6(
     workers: int = 1,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    backend: Optional[str] = None,
 ) -> Fig6Result:
     """Fig. 6 methodology: 2 TX, 2 RX, 100 random channel matrices,
     misalignments 0..0.5 rad, average SNR 10 and 20 dB."""
@@ -141,6 +174,7 @@ def run_fig6(
         workers=workers,
         checkpoint=checkpoint,
         resume=resume,
+        backend=backend,
     )
     per_channel = np.asarray(sweep.results[0])  # (n_channels, n_snrs, n_mis)
     reduction: Dict[float, np.ndarray] = {
@@ -328,6 +362,7 @@ def run_fig8(
     workers: int = 1,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    backend: Optional[str] = None,
 ) -> Fig8Result:
     """Fig. 8 methodology: equal AP/client counts per SNR band; null at each
     client in turn; average the (leak+noise)/noise ratio."""
@@ -349,7 +384,7 @@ def run_fig8(
     ]
     sweep = run_sweep(
         "fig8", fig8_kernel, cells, master_seed=_master_seed(seed),
-        workers=workers, checkpoint=checkpoint, resume=resume,
+        workers=workers, checkpoint=checkpoint, resume=resume, backend=backend,
     )
     result: Dict[str, np.ndarray] = {}
     for band_name in BAND_ORDER:
@@ -527,6 +562,121 @@ def fig9_kernel(params, seed):
     }
 
 
+def fig9_kernel_batch(params, seeds):
+    """Batched :func:`fig9_kernel`: stacked screening, ZF and rate selection.
+
+    Per-trial RNG streams are preserved exactly: the screening loop runs in
+    rounds, each round drawing one candidate topology *per still-active
+    trial* from that trial's own generator (matching the scalar kernel's
+    early-stopping draw order), while the conditioning penalties of all
+    candidates are scored in one stacked ZF pass.  The post-screening
+    draws (band target, estimation noise, phase errors) also stay
+    per-trial; the SINR evaluation and effective-SNR rate walk then run
+    once over the trial axis (:meth:`EffectiveSnrRateSelector.goodput_batch`).
+    Results are bit-identical to mapping :func:`fig9_kernel` over ``seeds``.
+    """
+    n = int(params["n"])
+    band = params["band"]
+    error_model = params["error_model"]
+    max_penalty_db = params["max_penalty_db"]
+    selector = EffectiveSnrRateSelector(
+        params["sample_rate"], mac_efficiency=MAC_EFFICIENCY
+    )
+    rngs = [ensure_rng(seed) for seed in seeds]
+    n_trials = len(rngs)
+
+    # --- placement screening: draws per trial, penalties batched ----------
+    chosen: List[Optional[np.ndarray]] = [None] * n_trials
+    fallback: List[Optional[np.ndarray]] = [None] * n_trials
+    fallback_penalty = np.full(n_trials, np.inf)
+    active = list(range(n_trials))
+    for _attempt in range(100):  # draw_screened_channels' max_attempts
+        if not active:
+            break
+        cand = np.stack(
+            [
+                build_channel_tensor(
+                    draw_band_snrs((19.0, 21.0), n, n, rngs[t]), rngs[t]
+                )
+                for t in active
+            ]
+        )  # (n_active, n_bins, n, n)
+        if max_penalty_db is None:
+            for i, t in enumerate(active):
+                chosen[t] = cand[i]
+            active = []
+            break
+        # zf_penalty_db, stacked over the active candidates
+        _, k = zero_forcing_precoder_wideband(cand)
+        link_gain = np.mean(np.abs(cand) ** 2, axis=-3)
+        best_link = np.mean(np.max(link_gain, axis=-1), axis=-1)
+        penalty = linear_to_db(best_link) - linear_to_db(k**2)
+        still_active = []
+        for i, t in enumerate(active):
+            if penalty[i] <= max_penalty_db:
+                chosen[t] = cand[i]
+            else:
+                if penalty[i] < fallback_penalty[t]:
+                    fallback[t] = cand[i]
+                    fallback_penalty[t] = penalty[i]
+                still_active.append(t)
+        active = still_active
+    channels = np.stack(
+        [chosen[t] if chosen[t] is not None else fallback[t] for t in range(n_trials)]
+    )  # (n_trials, n_bins, n, n)
+
+    # --- scale each trial so the effective SNR hits its band target -------
+    _, k = zero_forcing_precoder_wideband(channels)
+    targets = np.array([float(rng.uniform(band[0], band[1])) for rng in rngs])
+    scale = np.sqrt(db_to_linear(targets) / k**2)
+    channels = channels * scale[:, None, None, None]
+    link_snrs_db = linear_to_db(np.mean(np.abs(channels) ** 2, axis=-3))
+
+    est = np.stack(
+        [
+            error_model.corrupt_estimate(channels[t], link_snrs_db[t], rngs[t])
+            for t in range(n_trials)
+        ]
+    )
+    errors = np.stack([error_model.phase_errors(n, rngs[t]) for t in range(n_trials)])
+
+    sinr_db = np.ascontiguousarray(
+        joint_zf_sinr_db(channels, phase_errors=errors, est_channels=est)
+    )  # (n_trials, n, n_bins)
+    stream_rates = selector.goodput_batch(sinr_db)  # (n_trials, n)
+    best_ap = np.argmax(link_snrs_db, axis=-1)  # (n_trials, n)
+    uni = np.stack(
+        [
+            np.stack(
+                [unicast_snr_db(channels[t], c, int(best_ap[t, c])) for c in range(n)]
+            )
+            for t in range(n_trials)
+        ]
+    )  # (n_trials, n, n_bins)
+    unicast_rates = selector.goodput_batch(uni)
+
+    out = []
+    for t in range(n_trials):
+        baseline_per_client = unicast_rates[t] / n
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g = np.where(
+                baseline_per_client > 0,
+                stream_rates[t] / np.maximum(baseline_per_client, 1e-9),
+                np.nan,
+            )
+        out.append(
+            {
+                "megamimo_bps": float(np.sum(stream_rates[t])),
+                "baseline_bps": float(np.mean(unicast_rates[t])),
+                "gains": g[np.isfinite(g)].tolist(),
+            }
+        )
+    return out
+
+
+register_batched_kernel(fig9_kernel, fig9_kernel_batch)
+
+
 def run_fig9(
     seed: int = 4,
     n_aps: Sequence[int] = tuple(range(2, 11)),
@@ -537,6 +687,7 @@ def run_fig9(
     workers: int = 1,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    backend: Optional[str] = None,
 ) -> Fig9Result:
     """Figs. 9/10 methodology: N APs and N clients placed per SNR band;
     measure total throughput with 802.11 (equal medium shares from the best
@@ -572,7 +723,7 @@ def run_fig9(
     ]
     sweep = run_sweep(
         "fig9", fig9_kernel, grid, master_seed=_master_seed(seed),
-        workers=workers, checkpoint=checkpoint, resume=resume,
+        workers=workers, checkpoint=checkpoint, resume=resume, backend=backend,
     )
     cells: Dict[Tuple[str, int], ScalingCell] = {}
     for band_name in BAND_ORDER:
@@ -714,6 +865,7 @@ def run_fig11(
     workers: int = 1,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    backend: Optional[str] = None,
 ) -> Fig11Result:
     """Fig. 11 methodology: one client with roughly equal SNR to all APs;
     all APs beamform the same stream coherently (§8)."""
@@ -739,7 +891,7 @@ def run_fig11(
     ]
     sweep = run_sweep(
         "fig11", fig11_kernel, cells, master_seed=_master_seed(seed),
-        workers=workers, checkpoint=checkpoint, resume=resume,
+        workers=workers, checkpoint=checkpoint, resume=resume, backend=backend,
     )
     result: Dict[int, np.ndarray] = {}
     for n in sizes:

@@ -26,6 +26,7 @@ import numpy as np
 from repro.channel.models import ChannelModel, RicianChannel
 from repro.core.beamforming import zero_forcing_precoder_wideband
 from repro.obs import metrics
+from repro.runtime import register_batched_kernel
 from repro.utils.rng import complex_normal, ensure_rng
 from repro.utils.units import db_to_linear, linear_to_db
 from repro.utils.validation import require
@@ -100,15 +101,17 @@ class SyncErrorModel:
         """Add estimation noise to a channel tensor.
 
         Args:
-            channels: (n_bins, n_rx, n_tx) true channels.
-            snr_db: Per-entry link SNR (scalar or (n_rx, n_tx)); estimation
-                SNR is this plus ``estimation_snr_boost_db``.
+            channels: (..., n_bins, n_rx, n_tx) true channels (leading batch
+                axes allowed).
+            snr_db: Per-entry link SNR (scalar, (n_rx, n_tx) or with the
+                same leading axes as ``channels``); estimation SNR is this
+                plus ``estimation_snr_boost_db``.
         """
         rng = ensure_rng(rng)
         channels = np.asarray(channels, dtype=complex)
         snr = db_to_linear(np.asarray(snr_db, dtype=float) + self.estimation_snr_boost_db)
-        snr = np.broadcast_to(snr, channels.shape[1:])
-        scale = np.abs(channels) / np.sqrt(snr)[None, :, :]
+        snr = np.broadcast_to(snr, channels.shape[:-3] + channels.shape[-2:])
+        scale = np.abs(channels) / np.sqrt(snr)[..., None, :, :]
         noise = complex_normal(rng, channels.shape, 1.0) * scale
         _OBS_ESTIMATES.inc()
         return channels + noise
@@ -130,6 +133,30 @@ def draw_band_snrs(band: Tuple[float, float], n_clients: int, n_aps: int, rng,
     return base[:, None] + spread
 
 
+def taps_to_channel_tensor(taps: np.ndarray, n_bins: int = N_BINS) -> np.ndarray:
+    """Frequency responses of a stack of link impulse responses.
+
+    Args:
+        taps: (..., n_rx, n_tx, n_taps) per-link impulse responses.
+        n_bins: Occupied subcarriers to keep; the FFT grid is
+            ``max(n_bins, 64)`` as in :meth:`LinkChannel.frequency_response`.
+
+    Returns:
+        (..., n_bins, n_rx, n_tx) complex channel tensor.  Each link's row
+        FFT is bit-identical to a scalar per-link
+        ``LinkChannel.frequency_response`` call, so stacking trials does not
+        perturb the channel values.
+    """
+    taps = np.asarray(taps, dtype=complex)
+    require(taps.ndim >= 3, "need (..., n_rx, n_tx, n_taps)")
+    fft_size = max(n_bins, 64)
+    require(taps.shape[-1] <= fft_size, "impulse response longer than FFT")
+    padded = np.zeros(taps.shape[:-1] + (fft_size,), dtype=complex)
+    padded[..., : taps.shape[-1]] = taps
+    response = np.fft.fft(padded, axis=-1)[..., :n_bins]
+    return np.moveaxis(response, -1, -3)
+
+
 def build_channel_tensor(
     snr_db: np.ndarray,
     rng,
@@ -137,31 +164,32 @@ def build_channel_tensor(
     noise_power: float = 1.0,
     n_bins: int = N_BINS,
 ) -> np.ndarray:
-    """Per-subcarrier channel tensor for an (n_rx, n_tx) SNR map.
+    """Per-subcarrier channel tensor for an (..., n_rx, n_tx) SNR map.
 
     Args:
-        snr_db: (n_rx, n_tx) average link SNRs.
+        snr_db: (..., n_rx, n_tx) average link SNRs (leading batch axes
+            allowed — e.g. a trial axis — sharing one RNG stream).
         model: Fading model.  Default is Rician K=7 — conference-room links
             (ceiling APs, line of sight) have a strong specular component,
             which is also what keeps the paper's channel matrices "random
             and well conditioned" (§11.2).
 
     Returns:
-        (n_bins, n_rx, n_tx) complex channels with E|H|^2 = SNR * noise.
+        (..., n_bins, n_rx, n_tx) complex channels with E|H|^2 = SNR * noise.
+
+    All links are drawn through one vectorized
+    :meth:`ChannelModel.realize_taps` call (array-sized RNG draws rather
+    than the per-link scalar draws of earlier revisions), so the serial
+    sweep kernels and the batched backend consume per-trial streams
+    identically.
     """
     rng = ensure_rng(rng)
     model = model or RicianChannel(k_factor=7.0)
     snr_db = np.asarray(snr_db, dtype=float)
-    require(snr_db.ndim == 2, "snr_db must be (n_rx, n_tx)")
-    n_rx, n_tx = snr_db.shape
-    out = np.empty((n_bins, n_rx, n_tx), dtype=complex)
-    for r in range(n_rx):
-        for t in range(n_tx):
-            gain = db_to_linear(snr_db[r, t]) * noise_power
-            link = model.realize(float(gain), rng=rng)
-            response = link.frequency_response(max(n_bins, 64))
-            out[:, r, t] = response[:n_bins]
-    return out
+    require(snr_db.ndim >= 2, "snr_db must be (..., n_rx, n_tx)")
+    gains = db_to_linear(snr_db) * noise_power
+    taps = model.realize_taps(gains, rng=rng)
+    return taps_to_channel_tensor(taps, n_bins)
 
 
 def joint_zf_sinr_db(
@@ -173,31 +201,44 @@ def joint_zf_sinr_db(
     """Per-client, per-subcarrier SINR (dB) after joint ZF beamforming.
 
     Args:
-        channels: (n_bins, n_rx, n_tx) true channels at transmission time.
+        channels: (..., n_bins, n_rx, n_tx) true channels at transmission
+            time (leading batch axes allowed, e.g. a trial axis).
         noise_power: Receiver noise power.
-        phase_errors: (n_tx,) per-antenna misalignment (radians).
+        phase_errors: (..., n_tx) per-antenna misalignment (radians).
         est_channels: Channels the precoder is built from (estimation error);
             defaults to the true channels.
 
     Returns:
-        (n_rx, n_bins) SINR in dB.
+        (..., n_rx, n_bins) SINR in dB.
+
+    The 3-D input keeps the loopy per-subcarrier reference implementation;
+    batched inputs take one broadcast-matmul pass whose per-trial results
+    are bit-identical to the reference (the backend-equivalence harness and
+    the batch-of-1 property tests pin this).
     """
     channels = np.asarray(channels, dtype=complex)
     est = channels if est_channels is None else np.asarray(est_channels, dtype=complex)
-    n_bins, n_rx, n_tx = channels.shape
+    n_tx = channels.shape[-1]
     rotation = (
         np.exp(1j * np.asarray(phase_errors, dtype=float))
         if phase_errors is not None
         else np.ones(n_tx)
     )
     precoders, _ = zero_forcing_precoder_wideband(est)
-    sinr = np.empty((n_rx, n_bins))
-    for b in range(n_bins):
-        eff = (channels[b] * rotation[None, :]) @ precoders[b]
-        signal = np.abs(np.diag(eff)) ** 2
-        interference = np.sum(np.abs(eff) ** 2, axis=1) - signal
-        sinr[:, b] = signal / (interference + noise_power)
-    return linear_to_db(sinr)
+    if channels.ndim == 3:
+        n_bins, n_rx, _ = channels.shape
+        sinr = np.empty((n_rx, n_bins))
+        for b in range(n_bins):
+            eff = (channels[b] * rotation[None, :]) @ precoders[b]
+            signal = np.abs(np.diag(eff)) ** 2
+            interference = np.sum(np.abs(eff) ** 2, axis=1) - signal
+            sinr[:, b] = signal / (interference + noise_power)
+        return linear_to_db(sinr)
+    eff = (channels * rotation[..., None, None, :]) @ precoders
+    signal = np.abs(np.diagonal(eff, axis1=-2, axis2=-1)) ** 2  # (..., B, R)
+    interference = np.sum(np.abs(eff) ** 2, axis=-1) - signal
+    sinr = signal / (interference + noise_power)
+    return linear_to_db(np.moveaxis(sinr, -1, -2))
 
 
 def nulling_inr_db(
@@ -207,24 +248,39 @@ def nulling_inr_db(
     phase_errors: Optional[np.ndarray] = None,
     est_channels: Optional[np.ndarray] = None,
 ) -> float:
-    """Fig. 8 metric: (leakage + noise) / noise, in dB, at a nulled client."""
+    """Fig. 8 metric: (leakage + noise) / noise, in dB, at a nulled client.
+
+    Accepts a (..., n_bins, n_rx, n_tx) batch and then returns a
+    (...,)-shaped array; the batched path accumulates leakage bin-by-bin in
+    the same order as the scalar reference, so agreement is exact up to the
+    vector-matrix product (gemv vs. batched gemm — pinned at tight
+    tolerance by the property tests).
+    """
     channels = np.asarray(channels, dtype=complex)
     est = channels if est_channels is None else np.asarray(est_channels, dtype=complex)
-    n_bins, n_rx, n_tx = channels.shape
+    n_bins, n_rx, n_tx = channels.shape[-3], channels.shape[-2], channels.shape[-1]
     rotation = (
         np.exp(1j * np.asarray(phase_errors, dtype=float))
         if phase_errors is not None
         else np.ones(n_tx)
     )
     precoders, _ = zero_forcing_precoder_wideband(est)
-    leak = 0.0
+    others = np.ones(n_rx, dtype=bool)
+    others[nulled_client] = False
+    if channels.ndim == 3:
+        leak = 0.0
+        for b in range(n_bins):
+            row = (channels[b][nulled_client] * rotation) @ precoders[b]
+            leak += float(np.sum(np.abs(row[others]) ** 2))
+        leak /= n_bins
+        return float(linear_to_db((leak + noise_power) / noise_power))
+    rotated = channels[..., :, nulled_client, :] * rotation[..., None, :]
+    rows = (rotated[..., :, None, :] @ precoders)[..., 0, :]  # (..., B, R)
+    leak = np.zeros(channels.shape[:-3])
     for b in range(n_bins):
-        row = (channels[b][nulled_client] * rotation) @ precoders[b]
-        others = np.ones(n_rx, dtype=bool)
-        others[nulled_client] = False
-        leak += float(np.sum(np.abs(row[others]) ** 2))
-    leak /= n_bins
-    return float(linear_to_db((leak + noise_power) / noise_power))
+        leak = leak + np.sum(np.abs(rows[..., b, others]) ** 2, axis=-1)
+    leak = leak / n_bins
+    return linear_to_db((leak + noise_power) / noise_power)
 
 
 def diversity_snr_db(
@@ -239,21 +295,22 @@ def diversity_snr_db(
     N equal-SNR APs yield an N^2 SNR gain.
 
     Args:
-        channels_to_client: (n_bins, n_aps) channels to the single client.
-        phase_errors: Per-AP misalignment.
+        channels_to_client: (..., n_bins, n_aps) channels to the single
+            client (leading batch axes allowed).
+        phase_errors: (..., n_aps) per-AP misalignment.
 
     Returns:
-        (n_bins,) SNR in dB.
+        (..., n_bins) SNR in dB.
     """
     channels_to_client = np.asarray(channels_to_client, dtype=complex)
-    n_bins, n_aps = channels_to_client.shape
+    n_aps = channels_to_client.shape[-1]
     rotation = (
         np.exp(1j * np.asarray(phase_errors, dtype=float))
         if phase_errors is not None
         else np.ones(n_aps)
     )
     amplitude = np.abs(channels_to_client)  # post-conjugation contribution
-    combined = np.abs(np.sum(amplitude * rotation[None, :], axis=1)) ** 2
+    combined = np.abs(np.sum(amplitude * rotation[..., None, :], axis=-1)) ** 2
     return linear_to_db(per_ap_power * combined / noise_power)
 
 
@@ -270,23 +327,30 @@ def mmse_stream_sinr_db(
     per-stream SINR is ``1 / [(I + (P/N0) H^H H)^-1]_ii - 1``.
 
     Args:
-        channels: (n_bins, n_rx, n_tx) channels of the link.
+        channels: (..., n_bins, n_rx, n_tx) channels of the link (leading
+            batch axes allowed).
 
     Returns:
-        (n_tx, n_bins) per-stream SINRs in dB.
+        (..., n_tx, n_bins) per-stream SINRs in dB.
     """
     channels = np.asarray(channels, dtype=complex)
-    n_bins, n_rx, n_tx = channels.shape
+    n_rx, n_tx = channels.shape[-2], channels.shape[-1]
     require(n_rx >= n_tx, "MMSE separation needs n_rx >= n_tx streams")
     snr_scale = per_stream_power / noise_power
-    sinr = np.empty((n_tx, n_bins))
     eye = np.eye(n_tx)
-    for b in range(n_bins):
-        h = channels[b]
-        gram = eye + snr_scale * (h.conj().T @ h)
-        inv_diag = np.real(np.diag(np.linalg.inv(gram)))
-        sinr[:, b] = 1.0 / np.maximum(inv_diag, 1e-12) - 1.0
-    return linear_to_db(np.maximum(sinr, 1e-12))
+    if channels.ndim == 3:
+        n_bins = channels.shape[0]
+        sinr = np.empty((n_tx, n_bins))
+        for b in range(n_bins):
+            h = channels[b]
+            gram = eye + snr_scale * (h.conj().T @ h)
+            inv_diag = np.real(np.diag(np.linalg.inv(gram)))
+            sinr[:, b] = 1.0 / np.maximum(inv_diag, 1e-12) - 1.0
+        return linear_to_db(np.maximum(sinr, 1e-12))
+    gram = eye + snr_scale * (np.conj(np.swapaxes(channels, -1, -2)) @ channels)
+    inv_diag = np.real(np.diagonal(np.linalg.inv(gram), axis1=-2, axis2=-1))
+    sinr = 1.0 / np.maximum(inv_diag, 1e-12) - 1.0  # (..., B, n_tx)
+    return linear_to_db(np.maximum(np.moveaxis(sinr, -1, -2), 1e-12))
 
 
 def unicast_snr_db(channels: np.ndarray, client: int, ap: int,
@@ -323,6 +387,46 @@ def sinr_grid_kernel(params, seed):
     }
 
 
+def sinr_grid_kernel_batch(params, seeds):
+    """Batched :func:`sinr_grid_kernel`: one array pass over many trials.
+
+    RNG draws stay per-trial — each seed's generator consumes exactly the
+    draws the scalar kernel would (band SNRs, link taps, estimation noise,
+    phase errors, in that order) — while the FFTs, ZF inversions and SINR
+    reductions run once over the stacked trial axis.  Results are
+    bit-identical to mapping :func:`sinr_grid_kernel` over ``seeds``.
+    """
+    n = int(params["n"])
+    band = tuple(params["band"])
+    error_model = params["error_model"]
+    model = RicianChannel(k_factor=7.0)
+    snrs, taps, est_noise, errors = [], [], [], []
+    for seed in seeds:
+        rng = ensure_rng(seed)
+        trial_snrs = draw_band_snrs(band, n, n, rng)
+        snrs.append(trial_snrs)
+        taps.append(model.realize_taps(db_to_linear(trial_snrs), rng=rng))
+        est_noise.append(complex_normal(rng, (N_BINS, n, n), 1.0))
+        errors.append(error_model.phase_errors(n, rng))
+    snr_arr = np.stack(snrs)  # (T, n, n)
+    channels = taps_to_channel_tensor(np.stack(taps))  # (T, B, n, n)
+    est_snr = db_to_linear(snr_arr + error_model.estimation_snr_boost_db)
+    scale = np.abs(channels) / np.sqrt(est_snr)[..., None, :, :]
+    est = channels + np.stack(est_noise) * scale
+    _OBS_ESTIMATES.inc(len(seeds))
+    sinr_db = np.ascontiguousarray(
+        joint_zf_sinr_db(channels, phase_errors=np.stack(errors), est_channels=est)
+    )
+    return [
+        {
+            "mean_sinr_db": float(np.mean(sinr_db[t])),
+            "min_sinr_db": float(np.min(sinr_db[t])),
+            "max_sinr_db": float(np.max(sinr_db[t])),
+        }
+        for t in range(len(seeds))
+    ]
+
+
 def run_sinr_grid(
     seed: int = 12,
     sizes: Sequence[int] = (2, 4, 8),
@@ -332,6 +436,7 @@ def run_sinr_grid(
     workers: int = 1,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    backend: Optional[str] = None,
 ) -> dict:
     """Monte Carlo grid over system sizes of the fast-path SINR physics.
 
@@ -353,7 +458,7 @@ def run_sinr_grid(
     ]
     sweep = run_sweep(
         "fastsim.sinr_grid", sinr_grid_kernel, cells, master_seed=int(seed),
-        workers=workers, checkpoint=checkpoint, resume=resume,
+        workers=workers, checkpoint=checkpoint, resume=resume, backend=backend,
     )
     out = {}
     for n in sizes:
@@ -364,3 +469,8 @@ def run_sinr_grid(
             "max_sinr_db": float(np.max([t["max_sinr_db"] for t in trials])),
         }
     return out
+
+
+# The batched twin is registered at import time so every entry point —
+# run_sinr_grid, the CLI, the bench script — can resolve it by kernel.
+register_batched_kernel(sinr_grid_kernel, sinr_grid_kernel_batch)

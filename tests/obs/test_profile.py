@@ -118,6 +118,17 @@ def sweep_records():
     ]
 
 
+def resumed_sweep_records():
+    """A sweep span whose every chunk was loaded from the checkpoint."""
+    return [
+        {"type": "meta", "schema": 1, "ts": 99.0},
+        {"type": "span", "name": "runtime.sweep", "ts": 100.0, "wall_s": 0.2,
+         "cpu_s": 0.01, "span_id": 7, "parent_id": None, "depth": 0,
+         "attrs": {"sweep": "fig9", "workers": 1, "chunks": 9, "resumed": 9,
+                   "backend": "serial"}},
+    ]
+
+
 class TestProfileTrace:
     def test_attribution_from_records(self):
         prof = profile_trace(sweep_records())
@@ -133,6 +144,38 @@ class TestProfileTrace:
     def test_sweep_without_chunk_events_is_skipped(self):
         records = [r for r in sweep_records() if r["type"] != "event"]
         assert profile_trace(records).attributions == []
+
+    def test_fully_resumed_sweep_gets_empty_attribution(self):
+        # every chunk came from the checkpoint: no dispatch is legitimate,
+        # not an instrumentation regression
+        prof = profile_trace(resumed_sweep_records())
+        (a,) = prof.attributions
+        assert a.sweep == "fig9"
+        assert a.chunks == 0
+        assert a.per_worker == []
+
+    def test_partially_resumed_sweep_still_skipped(self):
+        # resumed < chunks with no envelopes IS an instrumentation hole
+        records = resumed_sweep_records()
+        records[-1]["attrs"]["resumed"] = 3
+        assert profile_trace(records).attributions == []
+
+    def test_batched_chunks_attribute_to_parent(self):
+        records = [
+            {"type": "event", "name": "runtime.chunk", "ts": 103.0,
+             "parent_id": 7,
+             "attrs": chunk(worker="parent", mode="batched",
+                            recv_ts=101.0, done_ts=104.0)},
+            {"type": "span", "name": "runtime.sweep", "ts": 100.0,
+             "wall_s": 5.0, "cpu_s": 3.0, "span_id": 7, "parent_id": None,
+             "depth": 0, "attrs": {"sweep": "grid", "workers": 1,
+                                   "backend": "batched"}},
+        ]
+        (a,) = profile_trace(records).attributions
+        assert a.modes == {"batched": 1}
+        (w,) = a.per_worker
+        assert w.worker == "parent"
+        assert w.dispatch_s == pytest.approx(0.0)  # in-process: no spawn
 
     def test_reads_from_file(self, tmp_path):
         path = tmp_path / "t.jsonl"
@@ -233,6 +276,14 @@ class TestCliProfile:
         records = [r for r in sweep_records() if r["type"] != "event"]
         path = self.write_trace(tmp_path, records)
         assert main(["obs", "profile", str(path)]) == 1
+
+    def test_profile_fully_resumed_sweep_succeeds(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.write_trace(tmp_path, resumed_sweep_records())
+        assert main(["obs", "profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep 'fig9'" in out and "resumed" in out
 
     def test_profile_sweep_filter(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,199 @@
+"""Property-based tests of the batched (vectorized) kernel paths.
+
+The batched execution backend rests on three families of invariants:
+
+* **batch-of-1 equivalence** — feeding a kernel a stack of trials yields,
+  per trial slice, exactly what the scalar (3-D) reference path produces.
+  Everything except :func:`nulling_inr_db` is bitwise; nulling swaps a
+  gemv for a batched gemm and is pinned at tight tolerance instead;
+* **shape/dtype invariants** — batch axes pass through untouched and
+  outputs are real float arrays whatever the topology dimensions;
+* **permutation invariance** — trials own independent seed streams, so
+  permuting the seed list permutes the per-trial results (and leaves any
+  aggregate over trials unchanged).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.beamforming import (
+    snr_reduction_from_misalignment,
+    snr_reduction_grid,
+    zero_forcing_precoder_wideband,
+)
+from repro.mac.rate import EffectiveSnrRateSelector
+from repro.sim.fastsim import (
+    SyncErrorModel,
+    diversity_snr_db,
+    joint_zf_sinr_db,
+    mmse_stream_sinr_db,
+    nulling_inr_db,
+    sinr_grid_kernel,
+    sinr_grid_kernel_batch,
+)
+
+dims = st.integers(min_value=2, max_value=4)
+batch_sizes = st.integers(min_value=1, max_value=3)
+bins = st.integers(min_value=2, max_value=5)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def _complex(rng, shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+def _stack(seed, batch, n_bins, n_rx, n_tx):
+    rng = np.random.default_rng(seed)
+    channels = _complex(rng, (batch, n_bins, n_rx, n_tx))
+    phases = rng.uniform(-np.pi, np.pi, n_tx)
+    return channels, phases
+
+
+class TestBatchOfOneMatchesScalar:
+    @given(seed=seeds, batch=batch_sizes, n=dims, n_bins=bins)
+    @settings(max_examples=25, deadline=None)
+    def test_joint_zf_bitwise(self, seed, batch, n, n_bins):
+        channels, phases = _stack(seed, batch, n_bins, n, n)
+        est = channels + 0.01 * _complex(np.random.default_rng(seed + 1),
+                                         channels.shape)
+        batched = joint_zf_sinr_db(channels, phase_errors=phases,
+                                   est_channels=est)
+        for t in range(batch):
+            scalar = joint_zf_sinr_db(channels[t], phase_errors=phases,
+                                      est_channels=est[t])
+            np.testing.assert_array_equal(batched[t], scalar)
+
+    @given(seed=seeds, batch=batch_sizes, n=dims, n_bins=bins)
+    @settings(max_examples=25, deadline=None)
+    def test_nulling_tight_tolerance(self, seed, batch, n, n_bins):
+        channels, phases = _stack(seed, batch, n_bins, n, n)
+        nulled = seed % n
+        batched = nulling_inr_db(channels, nulled, phase_errors=phases)
+        assert np.shape(batched) == (batch,)
+        for t in range(batch):
+            scalar = nulling_inr_db(channels[t], nulled, phase_errors=phases)
+            np.testing.assert_allclose(batched[t], scalar,
+                                       rtol=1e-12, atol=1e-12)
+
+    @given(seed=seeds, batch=batch_sizes, n=dims, n_bins=bins)
+    @settings(max_examples=25, deadline=None)
+    def test_mmse_bitwise(self, seed, batch, n, n_bins):
+        channels, _ = _stack(seed, batch, n_bins, n, n)
+        batched = mmse_stream_sinr_db(channels, noise_power=0.5)
+        for t in range(batch):
+            scalar = mmse_stream_sinr_db(channels[t], noise_power=0.5)
+            np.testing.assert_array_equal(batched[t], scalar)
+
+    @given(seed=seeds, batch=batch_sizes, n_aps=dims, n_bins=bins)
+    @settings(max_examples=25, deadline=None)
+    def test_diversity_bitwise(self, seed, batch, n_aps, n_bins):
+        rng = np.random.default_rng(seed)
+        channels = _complex(rng, (batch, n_bins, n_aps))
+        phases = rng.uniform(-np.pi, np.pi, n_aps)
+        batched = diversity_snr_db(channels, phase_errors=phases)
+        for t in range(batch):
+            scalar = diversity_snr_db(channels[t], phase_errors=phases)
+            np.testing.assert_array_equal(batched[t], scalar)
+
+    @given(seed=seeds, batch=batch_sizes, n=dims, n_bins=bins)
+    @settings(max_examples=25, deadline=None)
+    def test_wideband_precoder_bitwise(self, seed, batch, n, n_bins):
+        channels, _ = _stack(seed, batch, n_bins, n, n)
+        precoders, scale = zero_forcing_precoder_wideband(channels)
+        for t in range(batch):
+            ref_p, ref_k = zero_forcing_precoder_wideband(channels[t])
+            np.testing.assert_array_equal(precoders[t], ref_p)
+            np.testing.assert_array_equal(np.asarray(scale)[t], ref_k)
+
+    @given(seed=seeds, batch=batch_sizes, n=dims)
+    @settings(max_examples=25, deadline=None)
+    def test_snr_reduction_grid_bitwise(self, seed, batch, n):
+        rng = np.random.default_rng(seed)
+        channels = _complex(rng, (batch, n, n))
+        misalignments = rng.uniform(0.0, 0.5, 3)
+        snrs_db = np.array([10.0, 20.0])
+        grid = snr_reduction_grid(channels, misalignments, snrs_db)
+        assert grid.shape == (batch, 2, 3, n)
+        for t in range(batch):
+            for s, snr in enumerate(snrs_db):
+                for m, mis in enumerate(misalignments):
+                    ref = snr_reduction_from_misalignment(channels[t], mis, snr)
+                    np.testing.assert_array_equal(grid[t, s, m], ref)
+
+    @given(seed=seeds, batch=batch_sizes, n_bins=bins)
+    @settings(max_examples=25, deadline=None)
+    def test_goodput_batch_bitwise(self, seed, batch, n_bins):
+        rng = np.random.default_rng(seed)
+        rows = rng.uniform(-10.0, 40.0, (batch, n_bins))
+        selector = EffectiveSnrRateSelector(10e6, mac_efficiency=0.75)
+        batched = selector.goodput_batch(rows)
+        assert batched.shape == (batch,)
+        for t in range(batch):
+            np.testing.assert_array_equal(batched[t], selector.goodput(rows[t]))
+
+
+class TestShapeDtypeInvariants:
+    @given(seed=seeds, batch=batch_sizes, n_rx=dims,
+           extra_tx=st.integers(0, 2), n_bins=bins)
+    @settings(max_examples=25, deadline=None)
+    def test_joint_zf_shapes(self, seed, batch, n_rx, extra_tx, n_bins):
+        n_tx = n_rx + extra_tx  # ZF needs at least as many antennas as clients
+        rng = np.random.default_rng(seed)
+        channels = _complex(rng, (batch, n_bins, n_rx, n_tx))
+        out = joint_zf_sinr_db(channels)
+        assert out.shape == (batch, n_rx, n_bins)
+        assert out.dtype == np.float64
+        assert np.all(np.isfinite(out))
+
+    @given(seed=seeds, batch=batch_sizes, n=dims, n_bins=bins)
+    @settings(max_examples=25, deadline=None)
+    def test_mmse_shapes(self, seed, batch, n, n_bins):
+        rng = np.random.default_rng(seed)
+        channels = _complex(rng, (batch, n_bins, n, n))
+        out = mmse_stream_sinr_db(channels)
+        assert out.shape == (batch, n, n_bins)
+        assert out.dtype == np.float64
+
+    @given(seed=seeds, batch=batch_sizes, n_aps=dims, n_bins=bins)
+    @settings(max_examples=25, deadline=None)
+    def test_diversity_shapes(self, seed, batch, n_aps, n_bins):
+        rng = np.random.default_rng(seed)
+        channels = _complex(rng, (batch, n_bins, n_aps))
+        out = diversity_snr_db(channels)
+        assert out.shape == (batch, n_bins)
+        assert out.dtype == np.float64
+
+
+class TestTrialPermutationInvariance:
+    PARAMS = {
+        "n": 2,
+        "band": (18.0, 22.0),
+        "error_model": SyncErrorModel(),
+    }
+
+    @given(master=seeds, order_seed=seeds, n_trials=st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_permuting_seeds_permutes_results(self, master, order_seed,
+                                              n_trials):
+        trial_seeds = [master + i for i in range(n_trials)]
+        results = sinr_grid_kernel_batch(self.PARAMS, trial_seeds)
+        perm = np.random.default_rng(order_seed).permutation(n_trials)
+        permuted = sinr_grid_kernel_batch(
+            self.PARAMS, [trial_seeds[i] for i in perm]
+        )
+        assert permuted == [results[i] for i in perm]
+        # fsum is correctly rounded, hence order-invariant — the aggregate
+        # over trials is untouched by the permutation, bit for bit.
+        agg = math.fsum(r["mean_sinr_db"] for r in results) / n_trials
+        assert math.fsum(r["mean_sinr_db"] for r in permuted) / n_trials == agg
+
+    @given(master=seeds, n_trials=st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_batch_matches_scalar_map(self, master, n_trials):
+        trial_seeds = [master + i for i in range(n_trials)]
+        batched = sinr_grid_kernel_batch(self.PARAMS, trial_seeds)
+        assert batched == [
+            sinr_grid_kernel(self.PARAMS, s) for s in trial_seeds
+        ]
