@@ -153,3 +153,54 @@ class AdHocPerfCounterTiming(Rule):
                 "`with trace.span(...)` or use `metrics.timer(...)` so the "
                 "duration is recorded, not stranded in a local",
             )
+
+
+@register
+class AlertRuleNameConvention(Rule):
+    """Alert-rule names should follow the same ``domain.metric`` shape.
+
+    Alert rules (:class:`repro.obs.alerts.AlertRule`) land in ledger
+    alarms, trace events and the ``/alerts`` endpoint next to metric
+    names; a rule named ``PhaseBudget!`` breaks the same glob filters and
+    family grouping OBS002 protects for metrics.  Rules declared in TOML
+    get the equivalent check at load time (``alerts.load_rules`` warns);
+    this covers the python call sites.  Advice-only: experimental rule
+    names in notebooks/scripts should nag, not gate.
+    """
+
+    id = "OBS004"
+    family = "obs"
+    severity = Severity.ADVICE
+    summary = (
+        "alert rule named outside the dotted domain.metric convention "
+        "(lowercase `domain.metric`, like metric names under OBS002)"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            path = src.imports.resolve(func) or dotted_name(func) or ""
+            if path.rsplit(".", 1)[-1] != "AlertRule":
+                continue
+            name_node = None
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    name_node = kw.value
+                    break
+            if name_node is None and node.args:
+                name_node = node.args[0]
+            if not (
+                isinstance(name_node, ast.Constant)
+                and isinstance(name_node.value, str)
+            ):
+                continue  # dynamic names are checked at construction time
+            if METRIC_NAME_RE.match(name_node.value):
+                continue
+            yield self.violation(
+                src, node,
+                f"alert rule name {name_node.value!r} does not match the "
+                f"dotted domain.metric convention; alarms and /alerts "
+                f"group by that shape (see docs/static_analysis.md)",
+            )

@@ -89,6 +89,21 @@ def _common_options() -> argparse.ArgumentParser:
         help="do not append this run to the ledger",
     )
     group.add_argument(
+        "--serve-port", type=int, default=None, metavar="PORT",
+        help="serve live telemetry (/metrics /timeseries /alerts /events) "
+             "on 127.0.0.1:PORT while the command runs (0 = ephemeral port)",
+    )
+    group.add_argument(
+        "--alerts", metavar="FILE", default=None,
+        help="alert-rule TOML overlaying the built-in rules "
+             "(default: runs/alerts.toml when present)",
+    )
+    group.add_argument(
+        "--fail-on-alert", action="store_true",
+        help="exit 3 when any alert rule fired during the run "
+             "(requires --serve-port)",
+    )
+    group.add_argument(
         "-v", "--verbose", action="count", default=0,
         help="log progress to stderr (-vv for debug)",
     )
@@ -246,6 +261,31 @@ def _add_obs_parser(subparsers, common) -> None:
                         "(id, prefix, or 'latest')")
     g.add_argument("--update-baseline", action="store_true",
                    help="write the current metrics to --baseline and exit")
+
+    sv = obs_sub.add_parser(
+        "serve", parents=[common],
+        help="serve live telemetry (OpenMetrics scrape + SSE stream)",
+    )
+    sv.add_argument("--port", type=int, default=9200,
+                    help="TCP port to bind (default 9200; 0 = ephemeral)")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    sv.add_argument("--duration", type=float, default=None, metavar="S",
+                    help="stop after S seconds (default: until interrupted)")
+
+    w = obs_sub.add_parser(
+        "watch", parents=[common],
+        help="tail a live telemetry endpoint as a terminal status table",
+    )
+    w.add_argument("url", help="endpoint base URL (e.g. http://127.0.0.1:9200)")
+    w.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="seconds between refreshes (default 1.0)")
+    w.add_argument("--once", action="store_true",
+                   help="render a single frame and exit")
+    w.add_argument("--duration", type=float, default=None, metavar="S",
+                   help="stop watching after S seconds")
+    w.add_argument("--name", metavar="GLOB", default=None,
+                   help="only series matching this glob (e.g. 'runtime.*')")
 
     b = obs_sub.add_parser(
         "bench", parents=[common], help="benchmark-history queries"
@@ -675,6 +715,46 @@ def _run_obs_profile(args) -> int:
     return 0
 
 
+def _run_obs_serve(args) -> int:
+    from repro.obs.serve import TelemetryServer
+
+    try:
+        server = TelemetryServer(
+            port=args.port, host=args.host, rules_path=args.alerts,
+        ).start()
+    except OSError as exc:
+        logger.error("cannot start telemetry server: %s", exc)
+        return 1
+    sys.stderr.write(
+        f"serving live telemetry on {server.url} (ctrl-c to stop)\n"
+    )
+    sys.stderr.flush()
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _run_obs_watch(args) -> int:
+    from repro.obs.serve import watch
+
+    return watch(
+        args.url,
+        interval_s=args.interval,
+        iterations=1 if args.once else None,
+        duration_s=args.duration,
+        fail_on_alert=args.fail_on_alert,
+        name=args.name,
+    )
+
+
 def _run_obs(args) -> int:
     if args.obs_command == "summarize":
         from repro.obs.summary import format_table, summarize
@@ -698,6 +778,10 @@ def _run_obs(args) -> int:
         return _run_obs_export(args)
     if args.obs_command == "regress":
         return _run_obs_regress(args)
+    if args.obs_command == "serve":
+        return _run_obs_serve(args)
+    if args.obs_command == "watch":
+        return _run_obs_watch(args)
     if args.obs_command == "bench":
         return _run_obs_bench_trend(args)
     return 2  # unreachable: argparse enforces the choices
@@ -801,6 +885,21 @@ def _main(argv: Optional[List[str]]) -> int:
             logger.error("cannot open trace file: %s", exc)
             return 1
         logger.info("tracing to %s", args.trace)
+    server = None
+    if args.command in RUN_COMMANDS and args.serve_port is not None:
+        from repro.obs.serve import TelemetryServer
+
+        try:
+            server = TelemetryServer(
+                port=args.serve_port, rules_path=args.alerts,
+            ).start()
+        except OSError as exc:
+            logger.error("cannot start telemetry server: %s", exc)
+            return 1
+        # the endpoint location is the whole point of the flag: always
+        # announce it (stderr, so stdout tables stay clean)
+        sys.stderr.write(f"serving live telemetry on {server.url}\n")
+        sys.stderr.flush()
     ctx = RunContext()
     started = time.time()
     run_timer = metrics.timer("cli.command_s").start()
@@ -809,9 +908,29 @@ def _main(argv: Optional[List[str]]) -> int:
         with trace.span("cli.command", command=args.command):
             code = _dispatch(args, ctx)
         status = "ok" if code == 0 else "error"
+        if server is not None:
+            server.stop()  # final alert evaluation before judging the run
+            fired = server.engine.fired_alarms()
+            ctx.alarms.extend(fired)
+            if fired and args.fail_on_alert and code == 0:
+                from repro.obs.serve import EXIT_ALERT
+
+                logger.error(
+                    "alert rules fired during the run: %s",
+                    ", ".join(a["rule"] for a in fired),
+                )
+                status = "alert"
+                code = EXIT_ALERT
         return code
     finally:
         run_timer.stop()
+        if server is not None:
+            # exception path: stop (idempotent) while the trace is still
+            # open so the engine's final obs.alert events land in it
+            server.stop()
+            for alarm in server.engine.fired_alarms():
+                if alarm not in ctx.alarms:
+                    ctx.alarms.append(alarm)
         if args.trace:
             trace.close()
             logger.info("trace written to %s", args.trace)

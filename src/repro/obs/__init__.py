@@ -27,6 +27,19 @@ attribution profiler (:mod:`repro.obs.profile`, ``repro obs profile``)
 decomposes sweep wall time into compute / dispatch / serialization / idle
 per worker from the engine's ``runtime.chunk`` dispatch envelopes.
 
+The v4 layer makes the run *watchable while it executes*: a bounded
+ring-buffer time-series store (:mod:`repro.obs.timeseries`) that the
+engine, progress tracker and sync-error models publish into
+incrementally; a declarative alert-rule engine
+(:mod:`repro.obs.alerts`) enforcing the §7.3 phase-error budgets and
+worker-utilization floors live, with hysteresis and for-duration
+debouncing; and a stdlib HTTP endpoint (:mod:`repro.obs.serve`,
+``repro obs serve`` / ``--serve-port``) exposing ``/metrics``
+(OpenMetrics), ``/timeseries`` + ``/alerts`` (JSON) and ``/events``
+(SSE).  ``repro.obs.serve`` is deliberately *not* imported here: runs
+without a server never pay for the HTTP layer, and producers publish to
+its event bus only when it is already loaded.
+
 Typical CLI wiring::
 
     from repro.obs import metrics, trace, setup_logging
@@ -38,31 +51,38 @@ Typical CLI wiring::
     metrics.write_json("metrics.json")
 """
 
-from repro.obs import metrics, shards
-from repro.obs.events import SCHEMA_VERSION, iter_events, read_events
+from repro.obs import metrics, shards, timeseries
+from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.events import SCHEMA_VERSION, format_sse, iter_events, read_events
 from repro.obs.ledger import Ledger, RunRecord, default_runs_dir, new_run_id
 from repro.obs.logging import get_logger, setup_logging
 from repro.obs.metrics import MetricsRegistry, Timer, get_registry
 from repro.obs.progress import SweepProgress
 from repro.obs.shards import merge_shards
 from repro.obs.summary import TraceSummary, format_table, summarize
+from repro.obs.timeseries import TimeSeriesStore, get_store
 from repro.obs.tracer import NULL_SPAN, Span, Tracer, trace, traced
 
 __all__ = [
     "SCHEMA_VERSION",
+    "AlertEngine",
+    "AlertRule",
     "Ledger",
     "MetricsRegistry",
     "NULL_SPAN",
     "RunRecord",
     "Span",
     "SweepProgress",
+    "TimeSeriesStore",
     "Timer",
     "TraceSummary",
     "Tracer",
     "default_runs_dir",
+    "format_sse",
     "format_table",
     "get_logger",
     "get_registry",
+    "get_store",
     "iter_events",
     "merge_shards",
     "metrics",
@@ -71,6 +91,7 @@ __all__ = [
     "setup_logging",
     "shards",
     "summarize",
+    "timeseries",
     "trace",
     "traced",
 ]

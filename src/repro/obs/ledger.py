@@ -213,6 +213,23 @@ def diff_records(old: RunRecord, new: RunRecord) -> dict:
 # ---------------------------------------------------------------------------
 
 
+def summarize_alarms(alarms: List[Dict], max_width: int = 48) -> str:
+    """One-cell alarm summary: count plus the raising rules/kinds.
+
+    A bare count hid *what* went wrong; now that live alert rules append
+    alarms too (:mod:`repro.obs.alerts`), the list table names them:
+    ``2: fastsim.phase_error_p95,mac.phase_error_p50``.  Truncated with
+    an ellipsis past ``max_width``.
+    """
+    if not alarms:
+        return "-"
+    names = [str(a.get("rule") or a.get("kind") or "?") for a in alarms]
+    cell = f"{len(alarms)}: " + ",".join(names)
+    if len(cell) > max_width:
+        cell = cell[: max_width - 1] + "…"
+    return cell
+
+
 def format_list(records: List[RunRecord]) -> str:
     """The ``repro obs runs list`` table."""
     if not records:
@@ -227,7 +244,8 @@ def format_list(records: List[RunRecord]) -> str:
         seed = str(r.master_seed) if r.master_seed is not None else "-"
         lines.append(
             f"{r.run_id:<22} {when:<16} {r.command:<10} {sha:<8} "
-            f"{seed:>6} {r.duration_s:>8.2f} {r.status:<6} {len(r.alarms)}"
+            f"{seed:>6} {r.duration_s:>8.2f} {r.status:<6} "
+            f"{summarize_alarms(r.alarms)}"
         )
     return "\n".join(lines)
 

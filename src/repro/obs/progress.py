@@ -25,12 +25,13 @@ cannot perturb the engine's bit-identical scheduling guarantees.
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 import time
 from typing import Optional, TextIO
 
-from repro.obs import metrics
+from repro.obs import metrics, timeseries
 from repro.obs.tracer import trace
 
 #: Environment variable: "0" disables the status line, "1" forces TTY mode.
@@ -151,22 +152,64 @@ class SweepProgress:
 
     @property
     def trials_per_s(self) -> float:
-        """Fresh-trial throughput (checkpoint-resumed work excluded)."""
+        """Fresh-trial throughput (checkpoint-resumed work excluded).
+
+        Guarded against the zero-elapsed / zero-trial corner: a sweep
+        that finishes (or renders) within one clock tick reports 0.0
+        rather than an absurd or non-finite rate.
+        """
         fresh = self.done_trials - self.resumed_trials
-        return max(fresh, 0) / max(self.elapsed_s, 1e-9)
+        elapsed = self.elapsed_s
+        if fresh <= 0 or elapsed <= 1e-6:
+            return 0.0
+        rate = fresh / elapsed
+        return rate if math.isfinite(rate) else 0.0
 
     @property
     def eta_s(self) -> Optional[float]:
+        """Seconds to completion: 0.0 when done, None when unknowable."""
+        remaining = self.total_trials - self.done_trials
+        if remaining <= 0:
+            return 0.0
         rate = self.trials_per_s
         if rate <= 0:
             return None
-        return (self.total_trials - self.done_trials) / rate
+        eta = remaining / rate
+        return eta if math.isfinite(eta) else None
 
     @property
     def workers_busy(self) -> int:
         """Workers with work left to do right now (tail-drain aware)."""
         remaining = self.total_chunks - self.done_chunks
         return max(min(remaining, self.workers), 0)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Busy fraction of the requested pool (0.0 when workers == 0)."""
+        if self.workers <= 0:
+            return 0.0
+        return self.workers_busy / self.workers
+
+    # -- live publication ------------------------------------------------------
+
+    def _publish(self, payload: dict) -> None:
+        """Mirror one rendered update into the live telemetry layer.
+
+        Every rendered tick lands in the process-global time-series store
+        (so ``/timeseries`` and the alert rules see sweep health), and —
+        only when the serve layer is already loaded, i.e. a run with
+        ``--serve-port`` — onto the SSE event bus.  A run without a
+        server never imports ``repro.obs.serve``.
+        """
+        ts = time.time()
+        store = timeseries.get_store()
+        store.record("runtime.done_trials", self.done_trials, ts=ts)
+        store.record("runtime.trials_per_s", self.trials_per_s, ts=ts)
+        store.record("runtime.workers_busy", self.workers_busy, ts=ts)
+        store.record("runtime.worker_utilization", self.worker_utilization, ts=ts)
+        serve = sys.modules.get("repro.obs.serve")
+        if serve is not None:
+            serve.publish_event("progress", payload)
 
     # -- rendering -------------------------------------------------------------
 
@@ -176,8 +219,7 @@ class SweepProgress:
             return
         self._last_render = now
         eta = self.eta_s
-        trace.event(
-            "runtime.progress",
+        payload = dict(
             sweep=self.name,
             done_chunks=self.done_chunks,
             total_chunks=self.total_chunks,
@@ -191,6 +233,8 @@ class SweepProgress:
             retries=self.retries,
             final=final,
         )
+        trace.event("runtime.progress", **payload)
+        self._publish(payload)
         if self.mode == "off":
             return
         line = self._format_line(final=final)

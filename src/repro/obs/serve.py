@@ -1,0 +1,429 @@
+"""Live HTTP telemetry: OpenMetrics scrape, JSON windows, SSE stream, watch.
+
+This is the production-facing surface ROADMAP item 5's long-running
+service mounts: while a sweep or simulation executes, a stdlib-only
+(`http.server` + daemon threads) endpoint exposes
+
+========================  ====================================================
+``/metrics``              Current registry state, OpenMetrics text
+                          (``application/openmetrics-text``) — scrapeable by
+                          prometheus, rendered by :mod:`repro.obs.export`.
+``/timeseries``           Windowed rollups from the
+                          :class:`~repro.obs.timeseries.TimeSeriesStore`;
+                          query params ``since_s`` (window, seconds back),
+                          ``buckets`` (downsample), ``name`` (glob).
+``/alerts``               Rule states + currently-firing list from the
+                          :class:`~repro.obs.alerts.AlertEngine`.
+``/events``               Server-Sent-Events stream of ``progress`` frames
+                          (mirroring ``runtime.progress``) and ``alert``
+                          transition frames, with keep-alive comments.
+``/``                     JSON index of the above.
+========================  ====================================================
+
+:class:`TelemetryServer` also owns the *evaluator thread*: every
+``eval_interval_s`` it samples the metrics registry into the store
+(counters/gauges/histogram-percentiles grow histories without touching
+hot paths) and runs the alert engine, publishing transitions to the
+in-process :class:`EventBus` that feeds ``/events``.
+
+The ``watch`` client (``repro obs watch URL``) tails any such endpoint —
+local or remote — as a refreshing terminal status table, and exits
+:data:`EXIT_ALERT` under ``--fail-on-alert`` if any rule fired while
+watching, so shell scripts and CI can gate on live health.
+
+Nothing here imports outside the stdlib + the obs stack; a run without
+``--serve-port`` never imports this module (producers publish to the bus
+only when it is already loaded — see ``SweepProgress``).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, TextIO, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.alerts import AlertEngine, load_rules
+from repro.obs.events import format_sse
+from repro.obs.export import metrics_to_openmetrics
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.timeseries import TimeSeriesStore, get_store
+
+logger = get_logger("obs.serve")
+
+#: Exit code for "an alert rule fired" (``watch --fail-on-alert``,
+#: ``--serve-port ... --fail-on-alert`` runs).  Distinct from the regress
+#: gate's 1 (breach) / 2 (no baseline).
+EXIT_ALERT = 3
+
+#: Content type real OpenMetrics scrapers negotiate.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Seconds between evaluator passes (registry sample + alert evaluation).
+DEFAULT_EVAL_INTERVAL_S = 0.25
+
+#: Seconds an idle SSE connection waits before writing a keep-alive comment.
+SSE_KEEPALIVE_S = 0.5
+
+
+class EventBus:
+    """Fan-out of ``(kind, payload)`` frames to SSE subscriber queues.
+
+    Publishing never blocks a producer: subscriber queues are bounded and
+    a full queue drops the frame for that subscriber (a slow SSE client
+    must not stall the sweep).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = int(maxsize)
+        self._subscribers: List["queue.Queue[Tuple[str, dict]]"] = []
+        self._lock = threading.Lock()
+        self.published = 0
+        self.dropped = 0
+
+    def subscribe(self) -> "queue.Queue[Tuple[str, dict]]":
+        q: "queue.Queue[Tuple[str, dict]]" = queue.Queue(maxsize=self.maxsize)
+        with self._lock:
+            self._subscribers.append(q)
+        return q
+
+    def unsubscribe(self, q: "queue.Queue[Tuple[str, dict]]") -> None:
+        with self._lock:
+            if q in self._subscribers:
+                self._subscribers.remove(q)
+
+    def publish(self, kind: str, payload: dict) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        self.published += 1
+        for q in subscribers:
+            try:
+                q.put_nowait((kind, dict(payload)))
+            except queue.Full:
+                self.dropped += 1
+
+
+#: The process-global bus producers publish into (when this module is
+#: loaded at all — see :func:`publish_event`).
+BUS = EventBus()
+
+
+def publish_event(kind: str, payload: dict) -> None:
+    """Publish a frame to the global bus (progress, alerts, lifecycle)."""
+    BUS.publish(kind, payload)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    block_on_close = False
+    telemetry: "TelemetryServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003 - stdlib API
+        logger.debug("http %s", fmt % args)
+
+    def _send_body(self, body: bytes, content_type: str, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, obj: dict, status: int = 200) -> None:
+        body = (json.dumps(obj, sort_keys=True) + "\n").encode()
+        self._send_body(body, "application/json; charset=utf-8", status=status)
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib API
+        tele = self.server.telemetry  # type: ignore[attr-defined]
+        split = urlsplit(self.path)
+        route = split.path.rstrip("/") or "/"
+        params = parse_qs(split.query)
+        try:
+            if route == "/metrics":
+                body = metrics_to_openmetrics(tele.registry).encode()
+                self._send_body(body, OPENMETRICS_CONTENT_TYPE)
+            elif route == "/timeseries":
+                self._send_json(tele.timeseries_view(params))
+            elif route == "/alerts":
+                self._send_json(tele.alerts_view())
+            elif route == "/events":
+                self._serve_events(tele)
+            elif route == "/":
+                self._send_json({
+                    "service": "repro live telemetry",
+                    "endpoints": ["/metrics", "/timeseries", "/alerts", "/events"],
+                    "ts": time.time(),
+                })
+            else:
+                self._send_json({"error": f"no such endpoint: {route}"}, status=404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    def _serve_events(self, tele: "TelemetryServer") -> None:
+        q = tele.bus.subscribe()
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+            self.send_header("Cache-Control", "no-cache")
+            # SSE is an unbounded stream: no Content-Length, close delimits.
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(format_sse("hello", {
+                "ts": time.time(),
+                "endpoints": ["/metrics", "/timeseries", "/alerts"],
+            }).encode())
+            self.wfile.flush()
+            while not tele.stopping.is_set():
+                try:
+                    kind, payload = q.get(timeout=SSE_KEEPALIVE_S)
+                except queue.Empty:
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                self.wfile.write(format_sse(kind, payload).encode())
+                self.wfile.flush()
+        finally:
+            tele.bus.unsubscribe(q)
+
+
+class TelemetryServer:
+    """The live telemetry endpoint + evaluator thread for one process.
+
+    Defaults bind the process-global registry/store/bus, and an alert
+    engine over :func:`repro.obs.alerts.load_rules` (built-ins overlaid
+    with ``runs/alerts.toml`` when present).  ``port=0`` binds an
+    ephemeral port; read :attr:`port`/:attr:`url` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+        store: Optional[TimeSeriesStore] = None,
+        engine: Optional[AlertEngine] = None,
+        rules_path: Optional[str] = None,
+        bus: Optional[EventBus] = None,
+        eval_interval_s: float = DEFAULT_EVAL_INTERVAL_S,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.registry = registry if registry is not None else get_registry()
+        self.store = store if store is not None else get_store()
+        self.engine = engine if engine is not None else AlertEngine(
+            load_rules(rules_path)
+        )
+        self.bus = bus if bus is not None else BUS
+        self.eval_interval_s = float(eval_interval_s)
+        self.stopping = threading.Event()
+        self._httpd: Optional[_Server] = None
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        httpd = _Server((self.host, self.port), _Handler)
+        httpd.telemetry = self
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        serve_thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-telemetry-http", daemon=True,
+            kwargs={"poll_interval": 0.1},
+        )
+        eval_thread = threading.Thread(
+            target=self._eval_loop, name="repro-telemetry-eval", daemon=True,
+        )
+        self._threads = [serve_thread, eval_thread]
+        serve_thread.start()
+        eval_thread.start()
+        logger.info("serving live telemetry on %s", self.url)
+        self.bus.publish("serve", {"ts": time.time(), "url": self.url,
+                                   "status": "started"})
+        return self
+
+    def stop(self) -> None:
+        """Final evaluation pass, then shut the endpoint down (idempotent)."""
+        if self._httpd is None:
+            return
+        self.evaluate_once()  # judge end-of-run state before going dark
+        self.bus.publish("serve", {"ts": time.time(), "url": self.url,
+                                   "status": "stopping"})
+        self.stopping.set()
+        httpd, self._httpd = self._httpd, None
+        httpd.shutdown()
+        httpd.server_close()
+        for t in self._threads:
+            t.join(timeout=2.0)
+        self._threads = []
+        logger.info("live telemetry on %s stopped", self.url)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _eval_loop(self) -> None:
+        while not self.stopping.wait(self.eval_interval_s):
+            self.evaluate_once()
+
+    def evaluate_once(self) -> List[dict]:
+        """Sample the registry into the store, run the alert rules once."""
+        now = time.time()
+        try:
+            self.store.sample_registry(self.registry, ts=now)
+            transitions = self.engine.evaluate(self.store, now=now)
+        except Exception:
+            logger.exception("telemetry evaluation pass failed")
+            return []
+        for t in transitions:
+            self.bus.publish("alert", t)
+        return transitions
+
+    # -- endpoint views --------------------------------------------------------
+
+    def timeseries_view(self, params: Dict[str, List[str]]) -> dict:
+        since = None
+        if "since_s" in params:
+            since = time.time() - float(params["since_s"][0])
+        buckets = int(params["buckets"][0]) if "buckets" in params else None
+        names = params.get("name")
+        return {
+            "ts": time.time(),
+            "series": self.store.to_dict(since=since, buckets=buckets,
+                                         names=names),
+        }
+
+    def alerts_view(self) -> dict:
+        return {
+            "ts": time.time(),
+            "rules": self.engine.to_dict(),
+            "firing": self.engine.firing(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# watch: tail an endpoint as a live terminal table
+# ---------------------------------------------------------------------------
+
+
+def fetch_json(url: str, timeout: float = 2.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode())
+
+
+def _format_value(v: object) -> str:
+    if v is None:
+        return "--"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_status(timeseries: dict, alerts: dict) -> str:
+    """One watch frame: series table + alert summary."""
+    rows = [("series", "count", "last", "mean", "p95")]
+    for name, entry in sorted(timeseries.get("series", {}).items()):
+        if not entry.get("count"):
+            continue
+        rows.append((
+            name,
+            _format_value(entry.get("count")),
+            _format_value(entry.get("last")),
+            _format_value(entry.get("mean")),
+            _format_value(entry.get("p95")),
+        ))
+    widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+    lines = []
+    for i, row in enumerate(rows):
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[c].rjust(widths[c]) for c in range(1, len(row))]
+        lines.append("  ".join(cells))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    firing = alerts.get("firing", [])
+    states = alerts.get("rules", {})
+    lines.append("")
+    lines.append(f"alerts: {len(firing)} firing / {len(states)} rules")
+    for state in firing:
+        lines.append(
+            f"  FIRING [{state.get('severity')}] {state.get('rule')}: "
+            f"{state.get('series')} {state.get('stat')}="
+            f"{_format_value(state.get('value'))} vs "
+            f"{_format_value(state.get('threshold'))} ({state.get('op')})"
+        )
+    return "\n".join(lines)
+
+
+def watch(
+    url: str,
+    interval_s: float = 1.0,
+    iterations: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    fail_on_alert: bool = False,
+    name: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+    timeout: float = 2.0,
+) -> int:
+    """Tail a telemetry endpoint as a refreshing status table.
+
+    Returns 0 on a healthy watch, 1 when the endpoint was never
+    reachable, and :data:`EXIT_ALERT` when ``fail_on_alert`` is set and
+    any rule was firing during the watch.
+    """
+    out = stream if stream is not None else sys.stdout
+    base = url.rstrip("/")
+    if not base.startswith("http"):
+        base = "http://" + base
+    ts_url = base + "/timeseries"
+    if name:
+        ts_url += f"?name={name}"
+    deadline = None if duration_s is None else time.monotonic() + duration_s
+    saw_firing = False
+    reached = False
+    n = 0
+    while True:
+        try:
+            timeseries = fetch_json(ts_url, timeout=timeout)
+            alerts = fetch_json(base + "/alerts", timeout=timeout)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+            out.write(f"watch: {base} unreachable: {exc}\n")
+        else:
+            reached = True
+            saw_firing = saw_firing or bool(alerts.get("firing"))
+            out.write(render_status(timeseries, alerts) + "\n\n")
+        out.flush()
+        n += 1
+        if iterations is not None and n >= iterations:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        time.sleep(interval_s)
+    if not reached:
+        return 1
+    if fail_on_alert and saw_firing:
+        out.write("watch: alert rules fired during the watch\n")
+        return EXIT_ALERT
+    return 0

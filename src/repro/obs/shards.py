@@ -32,7 +32,10 @@ import json
 import os
 from typing import Any, Dict, List, Optional
 
+from repro.obs.logging import get_logger
 from repro.obs.tracer import SHARD_DIR_SUFFIX, Tracer
+
+logger = get_logger("obs.shards")
 
 SHARD_GLOB = "worker-*.jsonl"
 
@@ -60,7 +63,17 @@ def merge_shards(
     stats = {"shards": 0, "spans": 0, "events": 0, "dropped": 0}
     for path in sorted(glob.glob(os.path.join(shard_dir, SHARD_GLOB))):
         stats["shards"] += 1
+        dropped_before = stats["dropped"]
         _merge_one(tracer, path, default_parent_id, default_depth, stats)
+        if stats["dropped"] > dropped_before:
+            # An orphan shard from a killed worker ends in a torn line (or
+            # lost its meta record entirely); its intact records merged
+            # above — say so instead of silently eating the evidence.
+            logger.warning(
+                "shard %s: dropped %d malformed line(s) — worker likely "
+                "killed mid-write; intact records were merged",
+                os.path.basename(path), stats["dropped"] - dropped_before,
+            )
         if cleanup:
             os.unlink(path)
     if cleanup:

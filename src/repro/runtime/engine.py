@@ -69,6 +69,7 @@ from repro.obs.events import jsonable
 from repro.obs.metrics import Timer
 from repro.obs.profile import attribute_chunks
 from repro.obs.progress import SweepProgress
+from repro.obs.timeseries import get_store
 from repro.runtime.checkpoint import open_checkpoint, sweep_header
 from repro.runtime.seeding import seed_sequence
 from repro.utils.validation import require
@@ -123,6 +124,9 @@ _SER_TASK_S = metrics.counter("runtime.ser_task_s")
 _SER_TASK_BYTES = metrics.counter("runtime.ser_task_bytes")
 _SER_RESULT_S = metrics.counter("runtime.ser_result_s")
 _SER_RESULT_BYTES = metrics.counter("runtime.ser_result_bytes")
+
+#: Live time-series store the chunk envelopes publish into (parent-side).
+_STORE = get_store()
 
 #: Overhead breakdowns of completed sweeps, drained by benchmark tooling.
 _SWEEP_OVERHEADS: List[Dict[str, Any]] = []
@@ -504,6 +508,12 @@ def _account_chunk(
     _SER_TASK_BYTES.inc(rec["ser_task_bytes"])
     _SER_RESULT_S.inc(rec["ser_result_s"])
     _SER_RESULT_BYTES.inc(rec["ser_result_bytes"])
+    # Live layer: every envelope also lands in the process-global
+    # time-series store, timestamped at chunk completion, so /timeseries
+    # and the alert rules see per-chunk latency history while the sweep
+    # runs (parent-side only, like the counters above).
+    _STORE.record("runtime.chunk_wall_s", rec["wall_s"], ts=done_ts)
+    _STORE.record("runtime.chunk_queue_wait_s", rec["queue_wait_s"], ts=done_ts)
     trace.event("runtime.chunk", **rec)
 
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.channel.models import ChannelModel, RicianChannel
 from repro.core.beamforming import zero_forcing_precoder_wideband
-from repro.obs import metrics
+from repro.obs import metrics, timeseries
 from repro.runtime import register_batched_kernel
 from repro.utils.rng import complex_normal, ensure_rng
 from repro.utils.units import db_to_linear, linear_to_db
@@ -46,6 +46,10 @@ PHASE_SIGMA_SCALE_ENV = "REPRO_PHASE_SIGMA_SCALE"
 _OBS_PHASE_ERR = metrics.histogram("fastsim.phase_error_rad")
 _OBS_DRAWS = metrics.counter("fastsim.phase_error_draws")
 _OBS_ESTIMATES = metrics.counter("fastsim.estimates_corrupted")
+# Live twin of the histogram: sync health flows into the time-series store
+# as it is drawn, so the §7.3 budget alert rules and /timeseries see a
+# degradation *during* the run, not at exit (the ring buffer bounds cost).
+_TS_PHASE_ERR = timeseries.series("fastsim.phase_error_rad")
 
 
 @dataclass
@@ -94,7 +98,9 @@ class SyncErrorModel:
         errors = per_device[device_of]
         _OBS_DRAWS.inc()
         if errors.size:
-            _OBS_PHASE_ERR.observe(float(np.max(np.abs(errors))))
+            worst = float(np.max(np.abs(errors)))
+            _OBS_PHASE_ERR.observe(worst)
+            _TS_PHASE_ERR.record(worst)
         return errors
 
     def corrupt_estimate(self, channels: np.ndarray, snr_db, rng) -> np.ndarray:

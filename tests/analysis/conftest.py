@@ -28,6 +28,7 @@ FIXTURE_DEST = {
     "OBS001": "src/repro/sim/fixture_mod.py",
     "OBS002": "src/repro/sim/fixture_mod.py",
     "OBS003": "src/repro/sim/fixture_mod.py",
+    "OBS004": "src/repro/sim/fixture_mod.py",
 }
 
 

@@ -1,0 +1,13 @@
+"""Convention-following alert-rule names (clean for OBS004)."""
+
+from repro.obs.alerts import AlertRule
+
+BUDGET = AlertRule(
+    name="sim.phase_error_p95", series="sim.phase_error_rad", threshold=0.05,
+)
+FLOOR = AlertRule(
+    name="sim.worker_utilization_floor",
+    series="sim.worker_utilization",
+    op="below",
+    threshold=0.5,
+)

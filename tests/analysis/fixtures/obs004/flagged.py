@@ -1,0 +1,10 @@
+"""Alert-rule names off the domain.metric convention (flagged: OBS004)."""
+
+from repro.obs.alerts import AlertRule
+
+BAD_POSITIONAL = AlertRule(
+    "PhaseBudget", series="sim.phase_error_rad", threshold=0.05,
+)
+BAD_KEYWORD = AlertRule(
+    name="phase error p95", series="sim.phase_error_rad", threshold=0.05,
+)

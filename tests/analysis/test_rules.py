@@ -111,6 +111,27 @@ class TestRuleDetails:
         )
         assert not _check("OBS001", text)
 
+    def test_obs004_keyword_name_is_flagged(self):
+        text = (
+            "from repro.obs.alerts import AlertRule\n"
+            "r = AlertRule(name='BadName', series='a.b', threshold=1.0)\n"
+        )
+        (v,) = _check("OBS004", text)
+        assert "BadName" in v.message
+
+    def test_obs004_dynamic_names_are_skipped(self):
+        # f-string / variable names are validated at construction time
+        # (AlertRule.__post_init__ warns), not by the static rule
+        text = (
+            "from repro.obs.alerts import AlertRule\n"
+            "for d in ('a', 'b'):\n"
+            "    AlertRule(name=f'{d}.p95', series='a.b', threshold=1.0)\n"
+        )
+        assert not _check("OBS004", text)
+
+    def test_obs004_unrelated_calls_ignored(self):
+        assert not _check("OBS004", "def AlertRuleFactory(name):\n    pass\n")
+
     def test_obs002_dynamic_names_are_skipped(self):
         text = (
             "from repro.obs import metrics\n"

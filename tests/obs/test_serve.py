@@ -1,0 +1,266 @@
+"""Live telemetry endpoint: routes, SSE stream, event bus, watch client."""
+
+import io
+import json
+import queue
+import urllib.request
+
+import pytest
+
+from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.export import validate_openmetrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.serve import (
+    EXIT_ALERT,
+    OPENMETRICS_CONTENT_TYPE,
+    EventBus,
+    TelemetryServer,
+    fetch_json,
+    render_status,
+    watch,
+)
+from repro.obs.timeseries import TimeSeriesStore
+
+
+@pytest.fixture
+def server():
+    """An isolated TelemetryServer on an ephemeral port (no globals)."""
+    registry = MetricsRegistry()
+    registry.counter("runtime.chunks_run").inc(3)
+    registry.gauge("sim.goodput_mbps").set(36.0)
+    registry.histogram("mac.phase_error_rad").observe(0.01)
+    store = TimeSeriesStore()
+    engine = AlertEngine([
+        AlertRule(name="test.err_budget", series="sim.err",
+                  kind="budget", stat="last", threshold=0.05),
+    ])
+    srv = TelemetryServer(
+        port=0, registry=registry, store=store, engine=engine,
+        bus=EventBus(), eval_interval_s=10.0,  # evaluate manually in tests
+    )
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def get(url, timeout=2.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.headers, resp.read().decode()
+
+
+class TestEndpoints:
+    def test_ephemeral_port_is_bound(self, server):
+        assert server.port != 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+        assert server.running
+
+    def test_index_lists_endpoints(self, server):
+        body = fetch_json(server.url + "/")
+        assert set(body["endpoints"]) == {
+            "/metrics", "/timeseries", "/alerts", "/events",
+        }
+
+    def test_metrics_is_valid_openmetrics(self, server):
+        status, headers, text = get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+        assert validate_openmetrics(text) == []
+        assert "runtime_chunks_run_total 3" in text
+
+    def test_timeseries_rollups_and_params(self, server):
+        for i in range(4):
+            server.store.record("sim.err", 0.01 * i, ts=float(i))
+        body = fetch_json(server.url + "/timeseries")
+        assert body["series"]["sim.err"]["count"] == 4
+        body = fetch_json(server.url + "/timeseries?buckets=2&name=sim.*")
+        assert set(body["series"]) == {"sim.err"}
+        assert len(body["series"]["sim.err"]["points"]) == 2
+
+    def test_alerts_view_reflects_engine_state(self, server):
+        body = fetch_json(server.url + "/alerts")
+        assert body["firing"] == []
+        assert body["rules"]["test.err_budget"]["status"] == "ok"
+        server.store.record("sim.err", 0.2)
+        server.evaluate_once()
+        body = fetch_json(server.url + "/alerts")
+        (firing,) = body["firing"]
+        assert firing["rule"] == "test.err_budget"
+        assert firing["kind"] == "budget"
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server.url + "/nope")
+        assert err.value.code == 404
+
+    def test_evaluator_samples_registry_into_store(self, server):
+        server.evaluate_once()
+        view = server.store.to_dict()
+        assert view["runtime.chunks_run"]["count"] >= 1
+        assert "mac.phase_error_rad.p95" in view
+
+    def test_stop_is_idempotent(self, server):
+        server.stop()
+        assert not server.running
+        server.stop()  # second call is a no-op
+
+    def test_start_twice_is_a_noop(self, server):
+        port = server.port
+        assert server.start() is server
+        assert server.port == port
+
+
+class TestSse:
+    def _read_frames(self, server, n_frames, timeout=5.0):
+        """Read SSE frames (event+data line pairs), skipping keep-alives."""
+        req = urllib.request.Request(server.url + "/events")
+        frames = []
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            assert resp.headers["Content-Type"].startswith("text/event-stream")
+            while len(frames) < n_frames:
+                line = resp.readline().decode()
+                if not line:
+                    break  # server closed the stream
+                if line.startswith("event: "):
+                    kind = line[len("event: "):].strip()
+                    data = resp.readline().decode()
+                    assert data.startswith("data: ")
+                    frames.append((kind, json.loads(data[len("data: "):])))
+        return frames
+
+    def test_hello_frame_arrives_first(self, server):
+        (frame,) = self._read_frames(server, 1)
+        kind, payload = frame
+        assert kind == "hello"
+        assert "/metrics" in payload["endpoints"]
+
+    def test_alert_transition_streams_as_sse_frame(self, server):
+        # breach the budget, then evaluate from a thread while we read
+        import threading
+
+        server.store.record("sim.err", 0.2)
+        timer = threading.Timer(0.2, server.evaluate_once)
+        timer.start()
+        try:
+            frames = self._read_frames(server, 2)
+        finally:
+            timer.cancel()
+        kinds = [k for k, _ in frames]
+        assert kinds == ["hello", "alert"]
+        _, alert = frames[1]
+        assert alert["rule"] == "test.err_budget"
+        assert alert["status"] == "firing" and alert["previous"] == "ok"
+        assert alert["value"] == pytest.approx(0.2)
+
+    def test_stopping_closes_the_stream(self, server):
+        import threading
+
+        threading.Timer(0.2, server.stop).start()
+        # the reader unblocks promptly instead of hanging on keep-alives
+        frames = self._read_frames(server, 99, timeout=5.0)
+        assert frames[0][0] == "hello"
+        assert len(frames) < 99
+
+
+class TestEventBus:
+    def test_fanout_to_all_subscribers(self):
+        bus = EventBus()
+        a, b = bus.subscribe(), bus.subscribe()
+        bus.publish("tick", {"n": 1})
+        assert a.get_nowait() == ("tick", {"n": 1})
+        assert b.get_nowait() == ("tick", {"n": 1})
+        assert bus.published == 1 and bus.dropped == 0
+
+    def test_full_subscriber_drops_without_blocking(self):
+        bus = EventBus(maxsize=2)
+        q = bus.subscribe()
+        for i in range(5):
+            bus.publish("tick", {"n": i})
+        assert bus.dropped == 3
+        assert q.qsize() == 2
+        assert q.get_nowait()[1] == {"n": 0}  # oldest frames are kept
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        q = bus.subscribe()
+        bus.unsubscribe(q)
+        bus.publish("tick", {})
+        with pytest.raises(queue.Empty):
+            q.get_nowait()
+
+    def test_payload_is_copied_per_subscriber(self):
+        bus = EventBus()
+        a, b = bus.subscribe(), bus.subscribe()
+        payload = {"n": 1}
+        bus.publish("tick", payload)
+        payload["n"] = 99  # later producer-side mutation must not leak
+        frame_a = a.get_nowait()[1]
+        assert frame_a == {"n": 1}
+        frame_a["n"] = 7  # nor may one subscriber corrupt another's frame
+        assert b.get_nowait()[1] == {"n": 1}
+
+
+class TestWatch:
+    def test_healthy_watch_renders_and_exits_zero(self, server):
+        server.store.record("sim.err", 0.01)
+        out = io.StringIO()
+        code = watch(server.url, iterations=1, stream=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "sim.err" in text
+        assert "0 firing / 1 rules" in text
+
+    def test_fail_on_alert_exit_code(self, server):
+        server.store.record("sim.err", 0.2)
+        server.evaluate_once()
+        out = io.StringIO()
+        code = watch(server.url, iterations=1, fail_on_alert=True, stream=out)
+        assert code == EXIT_ALERT
+        assert "FIRING" in out.getvalue()
+        assert "test.err_budget" in out.getvalue()
+
+    def test_firing_without_flag_still_exits_zero(self, server):
+        server.store.record("sim.err", 0.2)
+        server.evaluate_once()
+        code = watch(server.url, iterations=1, stream=io.StringIO())
+        assert code == 0
+
+    def test_unreachable_endpoint_exits_one(self):
+        out = io.StringIO()
+        code = watch("http://127.0.0.1:9", iterations=1, stream=out,
+                     timeout=0.5)
+        assert code == 1
+        assert "unreachable" in out.getvalue()
+
+    def test_scheme_is_optional(self, server):
+        code = watch(f"127.0.0.1:{server.port}", iterations=1,
+                     stream=io.StringIO())
+        assert code == 0
+
+    def test_name_glob_filters_series(self, server):
+        server.store.record("sim.err", 0.01)
+        server.store.record("runtime.rate", 5.0)
+        out = io.StringIO()
+        watch(server.url, iterations=1, name="runtime.*", stream=out)
+        text = out.getvalue()
+        assert "runtime.rate" in text
+        assert "sim.err" not in text
+
+
+class TestRenderStatus:
+    def test_empty_store_renders_header_only(self):
+        text = render_status({"series": {}}, {"rules": {}, "firing": []})
+        assert "series" in text
+        assert "alerts: 0 firing / 0 rules" in text
+
+    def test_firing_rows_show_rule_details(self):
+        alerts = {
+            "rules": {"a.b": {}},
+            "firing": [{
+                "rule": "a.b", "series": "s.x", "stat": "p95",
+                "value": 0.2, "threshold": 0.05, "op": "above",
+                "severity": "critical",
+            }],
+        }
+        text = render_status({"series": {}}, alerts)
+        assert "FIRING [critical] a.b" in text
+        assert "p95=0.2" in text

@@ -2,6 +2,7 @@
 
 import io
 import json
+import logging
 import os
 
 from repro.obs.events import iter_events, read_events
@@ -221,3 +222,83 @@ class TestMergeShards:
 
     def test_shard_dir_for_suffix(self):
         assert shard_dir_for("/x/run.jsonl") == "/x/run.jsonl" + SHARD_DIR_SUFFIX
+
+
+class TestOrphanShards:
+    """Shards left behind by killed pool workers merge with a warning."""
+
+    def _capture(self, caplog, monkeypatch):
+        # setup_logging (run by CLI tests) flips propagate off on the
+        # ``repro`` root; restore it so caplog's root handler sees records
+        # regardless of test ordering.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        return caplog.at_level(logging.WARNING, logger="repro.obs.shards")
+
+    def test_killed_worker_shard_warns_but_merges_intact_records(
+        self, tmp_path, caplog, monkeypatch
+    ):
+        path = tmp_path / "t.jsonl"
+        parent = Tracer()
+        parent.configure(str(path))
+        shard_dir = tmp_path / ("t.jsonl" + SHARD_DIR_SUFFIX)
+        shard = write_shard(shard_dir, 314, [
+            shard_meta(314, None, 0),
+            {"type": "span", "name": "survivor", "ts": 1.0, "wall_s": 0.1,
+             "cpu_s": 0.1, "span_id": 1, "parent_id": None, "depth": 0},
+        ])
+        with open(shard, "a") as f:
+            f.write('{"type": "span", "name": "torn')  # killed mid-write
+        with self._capture(caplog, monkeypatch):
+            stats = merge_shards(parent, str(shard_dir))
+        parent.close()
+
+        # the merge neither crashed nor lost the intact records
+        assert stats == {"shards": 1, "spans": 1, "events": 0, "dropped": 1}
+        spans = [r for r in iter_events(str(path)) if r["type"] == "span"]
+        assert [s["name"] for s in spans] == ["survivor"]
+        assert spans[0]["attrs"]["worker_pid"] == 314
+        # ... and the orphan was called out, with the shard identified
+        (record,) = [r for r in caplog.records if "mid-write" in r.message]
+        assert "worker-314.jsonl" in record.getMessage()
+        assert "dropped 1" in record.getMessage()
+
+    def test_intact_shards_merge_silently(self, tmp_path, caplog, monkeypatch):
+        path = tmp_path / "t.jsonl"
+        parent = Tracer()
+        parent.configure(str(path))
+        shard_dir = tmp_path / ("t.jsonl" + SHARD_DIR_SUFFIX)
+        write_shard(shard_dir, 7, [
+            shard_meta(7, None, 0),
+            {"type": "span", "name": "clean", "ts": 1.0, "wall_s": 0.0,
+             "cpu_s": 0.0, "span_id": 1, "parent_id": None, "depth": 0},
+        ])
+        with self._capture(caplog, monkeypatch):
+            stats = merge_shards(parent, str(shard_dir))
+        parent.close()
+        assert stats["dropped"] == 0
+        assert caplog.records == []
+
+    def test_shard_reduced_to_torn_meta_still_merges_rest(
+        self, tmp_path, caplog, monkeypatch
+    ):
+        """A worker killed while writing its *meta* record: every record is
+        unparseable or orphaned, but the other shards still merge."""
+        path = tmp_path / "t.jsonl"
+        parent = Tracer()
+        parent.configure(str(path))
+        shard_dir = tmp_path / ("t.jsonl" + SHARD_DIR_SUFFIX)
+        shard_dir.mkdir()
+        (shard_dir / "worker-13.jsonl").write_text('{"type": "meta", "sch')
+        write_shard(shard_dir, 99, [
+            shard_meta(99, None, 0),
+            {"type": "span", "name": "other", "ts": 1.0, "wall_s": 0.0,
+             "cpu_s": 0.0, "span_id": 1, "parent_id": None, "depth": 0},
+        ])
+        with self._capture(caplog, monkeypatch):
+            stats = merge_shards(parent, str(shard_dir), default_parent_id=5,
+                                 default_depth=1)
+        parent.close()
+        assert stats == {"shards": 2, "spans": 1, "events": 0, "dropped": 1}
+        (span,) = [r for r in iter_events(str(path)) if r["type"] == "span"]
+        assert span["name"] == "other"
+        assert any("worker-13.jsonl" in r.getMessage() for r in caplog.records)

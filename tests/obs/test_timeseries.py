@@ -1,0 +1,238 @@
+"""Time-series store: ring semantics, rollups, downsampling, registry taps."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    DEFAULT_CAPACITY,
+    Series,
+    TimeSeriesStore,
+    get_store,
+)
+
+
+class TestSeriesRing:
+    def test_points_are_ordered_oldest_first(self):
+        s = Series("t", capacity=8)
+        for i in range(5):
+            s.record(float(i), ts=float(i))
+        assert s.points() == [(float(i), float(i)) for i in range(5)]
+        assert len(s) == 5
+        assert s.total == 5
+
+    def test_wraparound_keeps_newest_capacity_points(self):
+        s = Series("t", capacity=4)
+        for i in range(10):
+            s.record(float(i), ts=float(i))
+        assert len(s) == 4
+        assert s.points() == [(6.0, 6.0), (7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+        # total still counts everything ever recorded: loss is detectable
+        assert s.total == 10
+
+    def test_since_filters_points(self):
+        s = Series("t", capacity=8)
+        for i in range(6):
+            s.record(float(i), ts=float(i))
+        assert s.points(since=4.0) == [(4.0, 4.0), (5.0, 5.0)]
+
+    def test_default_timestamp_is_wall_clock(self):
+        s = Series("t")
+        s.record(1.0)
+        ((ts, _),) = s.points()
+        assert ts > 1.7e9  # post-2023 epoch seconds
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Series("t", capacity=0)
+
+    def test_reset_in_place_keeps_handle_valid(self):
+        s = Series("t", capacity=4)
+        s.record(1.0, ts=1.0)
+        s.reset()
+        assert len(s) == 0 and s.total == 0 and s.points() == []
+        s.record(2.0, ts=2.0)  # the cached handle still publishes
+        assert s.points() == [(2.0, 2.0)]
+
+    def test_concurrent_appends_lose_nothing(self):
+        s = Series("t", capacity=4096)
+        def pump():
+            for i in range(500):
+                s.record(float(i), ts=float(i))
+        threads = [threading.Thread(target=pump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert s.total == 2000
+        assert len(s) == 2000
+
+
+class TestRollup:
+    def test_empty_series_rolls_up_to_count_zero(self):
+        assert Series("t").rollup() == {"count": 0}
+
+    def test_window_statistics(self):
+        s = Series("t", capacity=16)
+        for i, v in enumerate([1.0, 2.0, 3.0, 4.0, 100.0]):
+            s.record(v, ts=float(i))
+        r = s.rollup()
+        assert r["count"] == 5
+        assert r["first_ts"] == 0.0 and r["last_ts"] == 4.0
+        assert r["last"] == 100.0
+        assert r["min"] == 1.0 and r["max"] == 100.0
+        assert r["mean"] == pytest.approx(22.0)
+        assert r["p50"] == pytest.approx(3.0)
+        assert r["p95"] > 4.0
+
+    def test_since_window_excludes_old_points(self):
+        s = Series("t", capacity=16)
+        s.record(1000.0, ts=0.0)  # stale spike outside the window
+        for i in range(1, 5):
+            s.record(1.0, ts=float(i))
+        r = s.rollup(since=1.0)
+        assert r["count"] == 4
+        assert r["max"] == 1.0
+
+    def test_since_beyond_newest_point_is_empty(self):
+        s = Series("t")
+        s.record(1.0, ts=1.0)
+        assert s.rollup(since=2.0) == {"count": 0}
+
+
+class TestDownsample:
+    def test_buckets_partition_the_time_range(self):
+        s = Series("t", capacity=64)
+        for i in range(40):
+            s.record(float(i), ts=float(i))
+        out = s.downsample(4)
+        assert len(out) == 4
+        assert sum(b["count"] for b in out) == 40
+        centres = [b["ts"] for b in out]
+        assert centres == sorted(centres)
+        assert out[0]["min"] == 0.0
+        assert out[-1]["max"] == 39.0
+
+    def test_single_point_collapses_to_one_bucket(self):
+        s = Series("t")
+        s.record(3.0, ts=5.0)
+        assert s.downsample(8) == [
+            {"ts": 5.0, "count": 1, "min": 3.0, "max": 3.0, "mean": 3.0}
+        ]
+
+    def test_empty_series_downsamples_to_nothing(self):
+        assert Series("t").downsample(4) == []
+
+    def test_empty_buckets_are_omitted(self):
+        s = Series("t", capacity=8)
+        s.record(1.0, ts=0.0)
+        s.record(2.0, ts=100.0)  # long gap: middle buckets are empty
+        out = s.downsample(10)
+        assert len(out) == 2
+        assert [b["count"] for b in out] == [1, 1]
+
+    def test_bucket_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Series("t").downsample(0)
+
+
+class TestStore:
+    def test_series_is_get_or_create(self):
+        store = TimeSeriesStore()
+        a = store.series("x.y")
+        assert store.series("x.y") is a
+        assert store.get("x.y") is a
+        assert store.get("missing") is None
+        assert store.names() == ["x.y"]
+
+    def test_capacity_applies_on_create_only(self):
+        store = TimeSeriesStore(capacity=8)
+        assert store.series("a").capacity == 8
+        assert store.series("b", capacity=2).capacity == 2
+        assert store.series("b", capacity=99).capacity == 2  # already created
+
+    def test_record_convenience(self):
+        store = TimeSeriesStore()
+        store.record("a.b", 1.5, ts=1.0)
+        assert store.get("a.b").points() == [(1.0, 1.5)]
+
+    def test_reset_clears_every_series_in_place(self):
+        store = TimeSeriesStore()
+        handle = store.series("a")
+        handle.record(1.0)
+        store.reset()
+        assert len(handle) == 0
+        assert store.get("a") is handle
+
+    def test_global_store_is_a_singleton(self):
+        assert get_store() is get_store()
+
+
+class TestSampleRegistry:
+    def test_counters_gauges_histograms_snapshot(self):
+        store = TimeSeriesStore()
+        reg = MetricsRegistry()
+        reg.counter("runtime.chunks").inc(3)
+        reg.gauge("sim.goodput").set(36.0)
+        reg.gauge("never.set")
+        hist = reg.histogram("mac.err")
+        for v in (0.01, 0.02, 0.03):
+            hist.observe(v)
+        store.sample_registry(reg, ts=10.0)
+        assert store.get("runtime.chunks").points() == [(10.0, 3.0)]
+        assert store.get("sim.goodput").points() == [(10.0, 36.0)]
+        assert store.get("never.set") is None  # unset gauges are skipped
+        # histograms become derived sub-series, not raw draws
+        assert store.get("mac.err") is None
+        assert store.get("mac.err.p50").rollup()["count"] == 1
+        assert store.get("mac.err.p95").rollup()["count"] == 1
+        assert store.get("mac.err.mean").points() == [(10.0, pytest.approx(0.02))]
+
+    def test_empty_histogram_contributes_nothing(self):
+        store = TimeSeriesStore()
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        store.sample_registry(reg, ts=1.0)
+        assert store.names() == []
+
+    def test_repeated_samples_grow_history(self):
+        store = TimeSeriesStore()
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        for i in range(3):
+            counter.inc()
+            store.sample_registry(reg, ts=float(i))
+        assert store.get("c").points() == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+
+
+class TestToDict:
+    def _store(self):
+        store = TimeSeriesStore()
+        for i in range(4):
+            store.record("runtime.rate", float(i), ts=float(i))
+            store.record("sim.err", 0.01 * i, ts=float(i))
+        return store
+
+    def test_rollup_view_with_totals(self):
+        view = self._store().to_dict()
+        assert set(view) == {"runtime.rate", "sim.err"}
+        assert view["runtime.rate"]["count"] == 4
+        assert view["runtime.rate"]["total"] == 4
+        assert "points" not in view["runtime.rate"]
+
+    def test_glob_filter_selects_series(self):
+        view = self._store().to_dict(names="runtime.*")
+        assert set(view) == {"runtime.rate"}
+        view = self._store().to_dict(names=["sim.*", "runtime.*"])
+        assert set(view) == {"runtime.rate", "sim.err"}
+
+    def test_buckets_add_downsampled_points(self):
+        view = self._store().to_dict(buckets=2)
+        points = view["sim.err"]["points"]
+        assert len(points) == 2
+        assert sum(b["count"] for b in points) == 4
+
+    def test_default_capacity_sanity(self):
+        # the documented footprint bound: two float64 arrays per series
+        assert DEFAULT_CAPACITY == 1024

@@ -1,10 +1,12 @@
 """Live sweep telemetry: progress events, rendering modes, fault paths."""
 
 import io
+import math
 import os
 
 import pytest
 
+from repro.obs import timeseries
 from repro.obs.events import read_events
 from repro.obs.progress import SweepProgress, _progress_mode
 from repro.obs.tracer import trace
@@ -157,3 +159,111 @@ class TestRendering:
         assert tracker.workers_busy == 0
         assert tracker.eta_s == pytest.approx(0.0, abs=1e-6)
         assert tracker.trials_per_s > 0
+
+
+class TestDerivedGuards:
+    """Rates and ETAs stay finite in every degenerate corner."""
+
+    def _tracker(self, monkeypatch, **kwargs) -> SweepProgress:
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        defaults = dict(name="s", total_chunks=4, total_trials=8, workers=2,
+                        stream=io.StringIO(), min_interval_s=0.0,
+                        noninteractive_interval_s=0.0)
+        defaults.update(kwargs)
+        return SweepProgress(**defaults)
+
+    def test_instant_finish_has_no_inf_or_nan(self, monkeypatch):
+        tracker = self._tracker(monkeypatch)
+        tracker._t0 = tracker._t0 - 0.0  # zero elapsed is the worst case
+        for _ in range(4):
+            tracker.chunk_done(2)
+        assert math.isfinite(tracker.trials_per_s)
+        assert tracker.eta_s == 0.0  # done: ETA is zero even with rate 0
+        tracker.close()
+
+    def test_no_fresh_work_reports_zero_rate(self, monkeypatch):
+        # everything resumed from a checkpoint: nothing was computed now
+        tracker = self._tracker(monkeypatch, resumed_chunks=4,
+                                resumed_trials=8)
+        assert tracker.trials_per_s == 0.0
+        assert tracker.eta_s == 0.0
+
+    def test_unknowable_eta_is_none_not_inf(self, monkeypatch):
+        tracker = self._tracker(monkeypatch)
+        # work remains but no fresh trial has finished: rate 0, ETA unknown
+        assert tracker.trials_per_s == 0.0
+        assert tracker.eta_s is None
+
+    def test_zero_workers_utilization_is_zero(self, monkeypatch):
+        tracker = self._tracker(monkeypatch, workers=0)
+        assert tracker.worker_utilization == 0.0
+
+    def test_utilization_tracks_tail_drain(self, monkeypatch):
+        tracker = self._tracker(monkeypatch)
+        assert tracker.worker_utilization == 1.0  # 4 chunks, 2 workers
+        tracker.chunk_done(2)
+        tracker.chunk_done(2)
+        tracker.chunk_done(2)
+        assert tracker.worker_utilization == 0.5  # 1 chunk left
+        tracker.chunk_done(2)
+        assert tracker.worker_utilization == 0.0
+
+    def test_rendered_line_never_contains_inf_or_nan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        stream = io.StringIO()
+        tracker = SweepProgress("s", total_chunks=1, total_trials=2,
+                                workers=1, stream=stream, min_interval_s=0.0)
+        tracker.chunk_done(2)
+        tracker.close()
+        out = stream.getvalue()
+        assert "inf" not in out and "nan" not in out
+
+
+class TestLivePublication:
+    def test_renders_mirror_into_the_timeseries_store(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        store = timeseries.get_store()
+        store.reset()
+        before = {
+            name: store.get(name).total
+            for name in ("runtime.done_trials", "runtime.trials_per_s",
+                         "runtime.workers_busy", "runtime.worker_utilization")
+            if store.get(name) is not None
+        }
+        tracker = SweepProgress("s", total_chunks=2, total_trials=4,
+                                workers=2, stream=io.StringIO(),
+                                min_interval_s=0.0,
+                                noninteractive_interval_s=0.0)
+        tracker.chunk_done(2)
+        tracker.chunk_done(2)
+        tracker.close()
+        for name in ("runtime.done_trials", "runtime.trials_per_s",
+                     "runtime.workers_busy", "runtime.worker_utilization"):
+            series = store.get(name)
+            assert series is not None, name
+            assert series.total > before.get(name, 0), name
+        done = [v for _, v in store.get("runtime.done_trials").points()]
+        assert done[-1] == 4.0
+        busy = [v for _, v in store.get("runtime.workers_busy").points()]
+        assert busy[-1] == 0.0
+
+    def test_serverless_run_never_imports_the_http_layer(self, monkeypatch):
+        # the publish path must not drag http.server into plain runs; it
+        # only talks to repro.obs.serve when something else loaded it
+        import subprocess
+        import sys as _sys
+
+        code = (
+            "import io, sys\n"
+            "from repro.obs.progress import SweepProgress\n"
+            "t = SweepProgress('s', 1, 1, stream=io.StringIO(),\n"
+            "                  min_interval_s=0.0,\n"
+            "                  noninteractive_interval_s=0.0)\n"
+            "t.chunk_done(1); t.close()\n"
+            "assert 'repro.obs.serve' not in sys.modules\n"
+        )
+        proc = subprocess.run(
+            [_sys.executable, "-c", code], capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": "src"}, cwd=os.getcwd(),
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -1,8 +1,11 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import timeseries
 
 
 class TestParser:
@@ -69,3 +72,131 @@ class TestCommands:
             == 0
         )
         assert "goodput" in capsys.readouterr().out
+
+
+@pytest.fixture
+def clean_store():
+    """Empty the process-global time-series store around a live-serve test.
+
+    CLI runs publish into module-global rings with wall-clock timestamps;
+    without this, one test's injected sync fault would trip the §7.3
+    budget rules of every later test in the same process.
+    """
+    timeseries.reset()
+    yield timeseries.get_store()
+    timeseries.reset()
+
+
+class TestLiveTelemetry:
+    def _probe_on_stop(self, monkeypatch, probes: dict):
+        """Sample the endpoints at the moment the CLI stops its server.
+
+        ``--serve-port`` runs stop the server right after dispatch, while
+        the process is still inside ``main``; hooking stop() observes the
+        endpoint exactly as a live scraper would during the run.
+        """
+        from repro.obs.serve import TelemetryServer, fetch_json
+
+        orig_stop = TelemetryServer.stop
+
+        def probing_stop(self):
+            if self.running and not probes:
+                import urllib.request
+
+                with urllib.request.urlopen(self.url + "/metrics",
+                                            timeout=2.0) as resp:
+                    probes["metrics"] = resp.read().decode()
+                    probes["content_type"] = resp.headers["Content-Type"]
+                probes["timeseries"] = fetch_json(self.url + "/timeseries")
+                probes["alerts"] = fetch_json(self.url + "/alerts")
+            orig_stop(self)
+
+        monkeypatch.setattr(TelemetryServer, "stop", probing_stop)
+
+    def test_serve_port_exposes_live_endpoints_during_a_run(
+        self, clean_store, capsys, monkeypatch
+    ):
+        from repro.obs.export import validate_openmetrics
+
+        probes: dict = {}
+        self._probe_on_stop(monkeypatch, probes)
+        assert main(["figure", "6", "--scale", "0.2",
+                     "--serve-port", "0"]) == 0
+        assert "serving live telemetry on http://127.0.0.1:" in (
+            capsys.readouterr().err
+        )
+        assert validate_openmetrics(probes["metrics"]) == []
+        assert probes["content_type"].startswith("application/openmetrics-text")
+        # the sweep's progress publications reached the live store
+        assert "runtime.done_trials" in probes["timeseries"]["series"]
+        assert probes["alerts"]["firing"] == []
+
+    def test_injected_sync_fault_fails_the_run_and_lands_in_the_ledger(
+        self, clean_store, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PHASE_SIGMA_SCALE", "40")
+        code = main([
+            "simulate", "--n-aps", "2", "--n-clients", "2",
+            "--duration", "0.05", "--seed", "3",
+            "--serve-port", "0", "--fail-on-alert",
+        ])
+        assert code == 3  # EXIT_ALERT: distinct from regress's 1/2
+        # the firing made it into the run ledger as a structured alarm
+        ledger = tmp_path / "runs" / "ledger.jsonl"
+        record = json.loads(ledger.read_text().splitlines()[-1])
+        assert record["status"] == "alert"
+        # both vocabularies land side by side: the exit-time sync-health
+        # alarms (kind-only) and the live alert-engine firings (rule-keyed)
+        rules = {a.get("rule") for a in record["alarms"]}
+        assert "mac.phase_error_p95" in rules
+        (p95,) = [a for a in record["alarms"]
+                  if a.get("rule") == "mac.phase_error_p95"]
+        assert p95["kind"] == "alert_budget"
+        assert p95["severity"] == "critical"
+        assert p95["value"] > p95["threshold"]
+
+    def test_same_fault_without_fail_on_alert_still_exits_zero(
+        self, clean_store, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PHASE_SIGMA_SCALE", "40")
+        assert main([
+            "simulate", "--n-aps", "2", "--n-clients", "2",
+            "--duration", "0.05", "--seed", "3", "--serve-port", "0",
+        ]) == 0
+
+    def test_obs_serve_runs_for_duration_and_announces(self, capsys):
+        assert main(["obs", "serve", "--port", "0", "--duration",
+                     "0.05"]) == 0
+        err = capsys.readouterr().err
+        assert "serving live telemetry on http://127.0.0.1:" in err
+
+    def test_obs_watch_once_against_a_live_server(self, clean_store, capsys):
+        from repro.obs.serve import TelemetryServer
+
+        clean_store.record("sim.err", 0.01)
+        server = TelemetryServer(port=0, store=clean_store).start()
+        try:
+            assert main(["obs", "watch", server.url, "--once"]) == 0
+        finally:
+            server.stop()
+        assert "sim.err" in capsys.readouterr().out
+
+    def test_obs_watch_fail_on_alert_exit_code(self, clean_store, capsys):
+        from repro.obs.alerts import AlertEngine, AlertRule
+        from repro.obs.serve import TelemetryServer
+
+        engine = AlertEngine([AlertRule(
+            name="test.err_budget", series="sim.err", threshold=0.05,
+        )])
+        clean_store.record("sim.err", 0.2)
+        server = TelemetryServer(port=0, store=clean_store,
+                                 engine=engine).start()
+        server.evaluate_once()
+        try:
+            assert main(["obs", "watch", server.url, "--once",
+                         "--fail-on-alert"]) == 3
+        finally:
+            server.stop()
+
+    def test_obs_watch_unreachable_exits_one(self, capsys):
+        assert main(["obs", "watch", "http://127.0.0.1:9", "--once"]) == 1
