@@ -204,3 +204,49 @@ class AlertRuleNameConvention(Rule):
                 f"dotted domain.metric convention; alarms and /alerts "
                 f"group by that shape (see docs/static_analysis.md)",
             )
+
+
+@register
+class SwallowedException(Rule):
+    """Observability/runtime plumbing must not drop exceptions silently.
+
+    A bare ``except ...: pass`` in the obs stack or the sweep runtime is
+    exactly the failure mode the flight recorder and crash bundles exist
+    to eliminate: telemetry that dies without a trace.  Handlers there
+    must log what they dropped (debug level is fine for best-effort
+    paths) or re-raise.  Scoped to :mod:`repro.obs` and
+    :mod:`repro.runtime`; advice-only, since a deliberate swallow with a
+    justifying comment plus ``# repro: noqa[OBS005]`` is sometimes the
+    right call (e.g. a client that vanished mid-response).
+    """
+
+    id = "OBS005"
+    family = "obs"
+    severity = Severity.ADVICE
+    summary = (
+        "exception handler swallows the error without logging "
+        "(`except ...: pass`) inside obs/runtime plumbing"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator:
+        if not src.in_package("repro.obs", "repro.runtime"):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            body_is_silent = all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            )
+            if not body_is_silent:
+                continue
+            yield self.violation(
+                src, node.body[0],
+                "exception caught and silently dropped; log it (debug "
+                "level is fine) or re-raise — silent failures in the "
+                "telemetry path are invisible exactly when they matter",
+            )

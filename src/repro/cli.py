@@ -286,6 +286,34 @@ def _add_obs_parser(subparsers, common) -> None:
                    help="stop watching after S seconds")
     w.add_argument("--name", metavar="GLOB", default=None,
                    help="only series matching this glob (e.g. 'runtime.*')")
+    w.add_argument("--events", action="store_true",
+                   help="tail the /events SSE stream as JSON lines instead "
+                        "of polling the status table")
+    w.add_argument("--no-reconnect", action="store_true",
+                   help="with --events: exit 1 on the first dropped "
+                        "connection instead of backing off and retrying")
+    w.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="with --events: consecutive failed reconnects "
+                        "tolerated before exit 1 (default 5)")
+    w.add_argument("--max-events", type=int, default=None, metavar="N",
+                   help="with --events: exit 0 after N frames")
+
+    bb = obs_sub.add_parser(
+        "blackbox", parents=[common],
+        help="inspect crash-forensics bundles (runs/crash-<runid>/)",
+    )
+    bb_sub = bb.add_subparsers(dest="blackbox_command", required=True)
+    bb_sub.add_parser("list", parents=[common],
+                      help="tabulate crash bundles in the runs dir")
+    bshow = bb_sub.add_parser("show", parents=[common],
+                              help="print one bundle's forensics")
+    bshow.add_argument("bundle", nargs="?", default="latest",
+                       help="bundle id, run id, unambiguous prefix, or "
+                            "'latest' (default)")
+    bshow.add_argument("--records", type=int, default=10, metavar="K",
+                       help="flight-recorder records to show (default 10)")
+    bshow.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the full bundle as JSON")
 
     b = obs_sub.add_parser(
         "bench", parents=[common], help="benchmark-history queries"
@@ -743,8 +771,19 @@ def _run_obs_serve(args) -> int:
 
 
 def _run_obs_watch(args) -> int:
-    from repro.obs.serve import watch
+    from repro.obs.serve import DEFAULT_STREAM_RETRIES, stream_events, watch
 
+    if args.events:
+        return stream_events(
+            args.url,
+            reconnect=not args.no_reconnect,
+            max_retries=(
+                DEFAULT_STREAM_RETRIES if args.max_retries is None
+                else args.max_retries
+            ),
+            max_events=1 if args.once else args.max_events,
+            duration_s=args.duration,
+        )
     return watch(
         args.url,
         interval_s=args.interval,
@@ -753,6 +792,24 @@ def _run_obs_watch(args) -> int:
         fail_on_alert=args.fail_on_alert,
         name=args.name,
     )
+
+
+def _run_obs_blackbox(args) -> int:
+    from repro.obs import blackbox
+
+    if args.blackbox_command == "list":
+        print(blackbox.format_bundle_list(blackbox.list_bundles(args.ledger)))
+        return 0
+    # show
+    bundle = blackbox.load_bundle(args.bundle, runs_dir=args.ledger)
+    if bundle is None:
+        logger.error("no crash bundle matching %r", args.bundle)
+        return 1
+    if args.as_json:
+        print(json.dumps(bundle, indent=2, sort_keys=True))
+    else:
+        print(blackbox.format_bundle_show(bundle, records=args.records))
+    return 0
 
 
 def _run_obs(args) -> int:
@@ -782,6 +839,8 @@ def _run_obs(args) -> int:
         return _run_obs_serve(args)
     if args.obs_command == "watch":
         return _run_obs_watch(args)
+    if args.obs_command == "blackbox":
+        return _run_obs_blackbox(args)
     if args.obs_command == "bench":
         return _run_obs_bench_trend(args)
     return 2  # unreachable: argparse enforces the choices
@@ -800,7 +859,13 @@ def _dispatch(args, ctx: RunContext) -> int:
         logger.error("delete the file or rerun without --resume to start fresh")
         return 1
     except SweepError as exc:
-        # e.g. --backend batched on a sweep without a registered batched twin
+        # e.g. --backend batched on a sweep without a registered batched
+        # twin, or trials lost to a stall the retry path could not cover
+        from repro.obs import blackbox
+
+        blackbox.write_crash_bundle(
+            "sweep_error", error=exc, runs_dir=args.ledger,
+        )
         logger.error("%s", exc)
         return 1
     if args.command == "simulate":
@@ -820,7 +885,7 @@ def _dispatch(args, ctx: RunContext) -> int:
 
 def _record_run(
     args, ctx: RunContext, argv: List[str], started: float,
-    duration_s: float, status: str,
+    duration_s: float, status: str, run_id: Optional[str] = None,
 ) -> None:
     """Append this invocation to the run ledger (best-effort, never raises)."""
     if args.command not in RUN_COMMANDS or args.no_ledger:
@@ -834,7 +899,7 @@ def _record_run(
             ctx.artifacts.setdefault(kind, path)
     prov = provenance.collect(ctx.config)
     record = L.RunRecord(
-        run_id=L.new_run_id(started),
+        run_id=run_id if run_id is not None else L.new_run_id(started),
         ts=started,
         command=args.command,
         argv=list(argv),
@@ -904,14 +969,52 @@ def _main(argv: Optional[List[str]]) -> int:
     started = time.time()
     run_timer = metrics.timer("cli.command_s").start()
     status = "error"
+    run_id: Optional[str] = None
+    guard = None
+    is_run = args.command in RUN_COMMANDS
+    if is_run:
+        # Crash forensics: mint the ledger run id *now* (not at record
+        # time) so any bundle written mid-run — watchdog stall, signal,
+        # unhandled exception — lands in runs/crash-<runid>/ with the
+        # same id the ledger record will carry.
+        from repro.obs import blackbox
+        from repro.obs.ledger import new_run_id
+
+        run_id = new_run_id(started)
+        blackbox.set_run_context(
+            run_id=run_id, command=args.command, argv=argv_list,
+            runs_dir=args.ledger,
+        )
+        guard = blackbox.signal_guard(runs_dir=args.ledger)
+        guard.__enter__()
     try:
-        with trace.span("cli.command", command=args.command):
-            code = _dispatch(args, ctx)
+        try:
+            with trace.span("cli.command", command=args.command):
+                code = _dispatch(args, ctx)
+        except Exception as exc:
+            if is_run:
+                from repro.obs import blackbox
+
+                blackbox.write_crash_bundle(
+                    "unhandled_exception", error=exc, runs_dir=args.ledger,
+                )
+            raise
         status = "ok" if code == 0 else "error"
         if server is not None:
             server.stop()  # final alert evaluation before judging the run
             fired = server.engine.fired_alarms()
             ctx.alarms.extend(fired)
+            critical = [a for a in fired if a.get("severity") == "critical"]
+            if critical and is_run:
+                from repro.obs import blackbox
+
+                # one bundle per run: a stall/signal/exception already
+                # snapshotted the same final seconds
+                if blackbox.pending_bundles() == 0:
+                    blackbox.write_crash_bundle(
+                        "critical_alert", runs_dir=args.ledger,
+                        detail={"rules": [a.get("rule") for a in critical]},
+                    )
             if fired and args.fail_on_alert and code == 0:
                 from repro.obs.serve import EXIT_ALERT
 
@@ -931,13 +1034,23 @@ def _main(argv: Optional[List[str]]) -> int:
             for alarm in server.engine.fired_alarms():
                 if alarm not in ctx.alarms:
                     ctx.alarms.append(alarm)
+        if guard is not None:
+            guard.__exit__(None, None, None)
+        if is_run:
+            from repro.obs import blackbox
+
+            # crash bundles written anywhere this run become ledger
+            # alarms, so `repro obs runs show` links to the forensics
+            ctx.alarms.extend(blackbox.drain_bundles())
+            blackbox.clear_run_context()
         if args.trace:
             trace.close()
             logger.info("trace written to %s", args.trace)
         if args.metrics:
             metrics.write_json(args.metrics)
             logger.info("metrics written to %s", args.metrics)
-        _record_run(args, ctx, argv_list, started, run_timer.wall_s, status)
+        _record_run(args, ctx, argv_list, started, run_timer.wall_s, status,
+                    run_id=run_id)
 
 
 if __name__ == "__main__":

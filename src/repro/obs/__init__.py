@@ -53,7 +53,15 @@ Typical CLI wiring::
 
 from repro.obs import metrics, shards, timeseries
 from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.blackbox import (
+    list_bundles,
+    load_bundle,
+    set_run_context,
+    signal_guard,
+    write_crash_bundle,
+)
 from repro.obs.events import SCHEMA_VERSION, format_sse, iter_events, read_events
+from repro.obs.flightrec import FlightRecorder, get_recorder
 from repro.obs.ledger import Ledger, RunRecord, default_runs_dir, new_run_id
 from repro.obs.logging import get_logger, setup_logging
 from repro.obs.metrics import MetricsRegistry, Timer, get_registry
@@ -67,6 +75,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "AlertEngine",
     "AlertRule",
+    "FlightRecorder",
     "Ledger",
     "MetricsRegistry",
     "NULL_SPAN",
@@ -81,17 +90,23 @@ __all__ = [
     "format_sse",
     "format_table",
     "get_logger",
+    "get_recorder",
     "get_registry",
     "get_store",
     "iter_events",
+    "list_bundles",
+    "load_bundle",
     "merge_shards",
     "metrics",
     "new_run_id",
     "read_events",
+    "set_run_context",
     "setup_logging",
     "shards",
+    "signal_guard",
     "summarize",
     "timeseries",
     "trace",
     "traced",
+    "write_crash_bundle",
 ]

@@ -45,6 +45,7 @@ import re
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.flightrec import record as flightrec_record
 from repro.obs.logging import get_logger
 from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracer import trace
@@ -265,6 +266,7 @@ class AlertEngine:
                 "description": rule.description,
             }
             transitions.append(transition)
+            flightrec_record("obs.alert", transition, ts=now)
             trace.event("obs.alert", **transition)
             log = logger.warning if new_status == "firing" else logger.info
             log(
@@ -312,7 +314,7 @@ class AlertEngine:
 
 
 def builtin_rules() -> Tuple[AlertRule, ...]:
-    """Default rule set: §7.3 phase-error budgets + worker-utilization floor.
+    """Default rules: §7.3 phase budgets, utilization floor, watchdog stalls.
 
     The budget thresholds come straight from
     :mod:`repro.core.phasesync` (imported lazily — this module stays
@@ -356,6 +358,22 @@ def builtin_rules() -> Tuple[AlertRule, ...]:
                 "joint-beamforming gains are collapsing"
             ),
         ))
+    rules.append(AlertRule(
+        name="runtime.watchdog_stall",
+        series="runtime.watchdog_stalls",
+        kind="threshold",
+        stat="last",
+        op="above",
+        threshold=0.0,
+        window_s=3600.0,
+        min_count=1,
+        severity="critical",
+        description=(
+            "the worker watchdog declared a stalled chunk — a hung "
+            "worker was abandoned and its work re-run serially; see the "
+            "runs/crash-<runid>/ forensics bundle"
+        ),
+    ))
     rules.append(AlertRule(
         name="runtime.worker_utilization_floor",
         series="runtime.worker_utilization",

@@ -32,6 +32,7 @@ import time
 from typing import Optional, TextIO
 
 from repro.obs import metrics, timeseries
+from repro.obs.flightrec import record as flightrec_record
 from repro.obs.tracer import trace
 
 #: Environment variable: "0" disables the status line, "1" forces TTY mode.
@@ -202,6 +203,9 @@ class SweepProgress:
         server never imports ``repro.obs.serve``.
         """
         ts = time.time()
+        # The last progress tick in the flight-recorder ring becomes the
+        # crash bundle's progress.json — how far the sweep got.
+        flightrec_record("runtime.progress", payload, ts=ts)
         store = timeseries.get_store()
         store.record("runtime.done_trials", self.done_trials, ts=ts)
         store.record("runtime.trials_per_s", self.trials_per_s, ts=ts)

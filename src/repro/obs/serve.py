@@ -52,8 +52,9 @@ from urllib.parse import parse_qs, urlsplit
 from repro.obs.alerts import AlertEngine, load_rules
 from repro.obs.events import format_sse
 from repro.obs.export import metrics_to_openmetrics
+from repro.obs.flightrec import record as flightrec_record
 from repro.obs.logging import get_logger
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import MetricsRegistry, counter, get_registry
 from repro.obs.timeseries import TimeSeriesStore, get_store
 
 logger = get_logger("obs.serve")
@@ -74,13 +75,19 @@ DEFAULT_EVAL_INTERVAL_S = 0.25
 #: Seconds an idle SSE connection waits before writing a keep-alive comment.
 SSE_KEEPALIVE_S = 0.5
 
+#: Frames dropped because a subscriber queue was full; exported on
+#: ``/metrics`` and recorded into the time-series store so a slow SSE
+#: client is *visible*, not just tolerated.
+_EVENTS_DROPPED = counter("obs.events.dropped")
+
 
 class EventBus:
     """Fan-out of ``(kind, payload)`` frames to SSE subscriber queues.
 
     Publishing never blocks a producer: subscriber queues are bounded and
     a full queue drops the frame for that subscriber (a slow SSE client
-    must not stall the sweep).
+    must not stall the sweep).  Drops are counted per bus (``dropped``)
+    and process-wide on the ``obs.events.dropped`` metric.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -105,11 +112,17 @@ class EventBus:
         with self._lock:
             subscribers = list(self._subscribers)
         self.published += 1
+        flightrec_record("bus." + kind, payload)
+        dropped = 0
         for q in subscribers:
             try:
                 q.put_nowait((kind, dict(payload)))
             except queue.Full:
-                self.dropped += 1
+                dropped += 1
+        if dropped:
+            self.dropped += dropped
+            _EVENTS_DROPPED.inc(dropped)
+            get_store().record("obs.events.dropped", float(_EVENTS_DROPPED.value))
 
 
 #: The process-global bus producers publish into (when this module is
@@ -173,7 +186,8 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_json({"error": f"no such endpoint: {route}"}, status=404)
         except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away mid-response; nothing to salvage
+            # client went away mid-response; nothing to salvage
+            pass  # repro: noqa[OBS005]
 
     def _serve_events(self, tele: "TelemetryServer") -> None:
         q = tele.bus.subscribe()
@@ -427,3 +441,124 @@ def watch(
         out.write("watch: alert rules fired during the watch\n")
         return EXIT_ALERT
     return 0
+
+
+# ---------------------------------------------------------------------------
+# events streaming: tail /events with reconnect
+# ---------------------------------------------------------------------------
+
+#: Reconnect backoff: first retry delay and the cap it doubles up to.
+STREAM_BACKOFF_S = 0.5
+STREAM_BACKOFF_CAP_S = 8.0
+
+#: Consecutive failed (re)connect attempts tolerated by default.
+DEFAULT_STREAM_RETRIES = 5
+
+
+def _iter_sse_frames(resp):
+    """Yield ``(event, data_dict)`` frames from an open SSE response.
+
+    Comment lines (keep-alives) yield ``(None, None)`` so callers can
+    treat them as liveness.  Returns when the server closes the stream.
+    """
+    event: Optional[str] = None
+    data_lines: List[str] = []
+    while True:
+        raw = resp.readline()
+        if not raw:
+            return  # stream closed
+        line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+        if not line:
+            if data_lines:
+                try:
+                    payload = json.loads("\n".join(data_lines))
+                except json.JSONDecodeError:
+                    payload = {"raw": "\n".join(data_lines)}
+                yield event or "message", payload
+            event, data_lines = None, []
+            continue
+        if line.startswith(":"):
+            yield None, None  # keep-alive comment
+            continue
+        if line.startswith("event:"):
+            event = line[len("event:"):].strip()
+        elif line.startswith("data:"):
+            data_lines.append(line[len("data:"):].strip())
+
+
+def stream_events(
+    url: str,
+    reconnect: bool = True,
+    max_retries: int = DEFAULT_STREAM_RETRIES,
+    max_events: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    stream: Optional[TextIO] = None,
+    timeout: float = 5.0,
+) -> int:
+    """Tail a telemetry endpoint's ``/events`` SSE stream as JSON lines.
+
+    A dropped connection (server restart, network blip, the run between
+    two sweeps) is *reconnected* with capped exponential backoff
+    (:data:`STREAM_BACKOFF_S` doubling up to
+    :data:`STREAM_BACKOFF_CAP_S`); any received frame — keep-alives
+    included — resets the retry budget.  Returns 0 when ``max_events``
+    or ``duration_s`` bounds the tail, and 1 only once ``max_retries``
+    consecutive attempts failed (immediately on the first drop under
+    ``reconnect=False``).
+    """
+    out = stream if stream is not None else sys.stdout
+    base = url.rstrip("/")
+    if not base.startswith("http"):
+        base = "http://" + base
+    events_url = base + "/events"
+    deadline = None if duration_s is None else time.monotonic() + duration_s
+    seen = 0
+    attempts = 0
+    backoff = STREAM_BACKOFF_S
+    while True:
+        if deadline is not None and time.monotonic() >= deadline:
+            return 0
+        try:
+            resp = urllib.request.urlopen(events_url, timeout=timeout)
+        except (urllib.error.URLError, OSError) as exc:
+            out.write(f"events: {events_url} unreachable: {exc}\n")
+            out.flush()
+        else:
+            try:
+                for kind, payload in _iter_sse_frames(resp):
+                    attempts = 0  # live server: reset the retry budget
+                    backoff = STREAM_BACKOFF_S
+                    if kind is not None:
+                        seen += 1
+                        out.write(
+                            json.dumps({"event": kind, **payload},
+                                       sort_keys=True) + "\n"
+                        )
+                        out.flush()
+                    if max_events is not None and seen >= max_events:
+                        return 0
+                    if deadline is not None and time.monotonic() >= deadline:
+                        return 0
+            except (urllib.error.URLError, OSError) as exc:
+                out.write(f"events: stream dropped: {exc}\n")
+                out.flush()
+            else:
+                out.write("events: stream closed by server\n")
+                out.flush()
+            finally:
+                resp.close()
+        if not reconnect:
+            return 1
+        attempts += 1
+        if attempts > max_retries:
+            out.write(
+                f"events: giving up after {max_retries} failed "
+                f"reconnect attempts\n"
+            )
+            out.flush()
+            return 1
+        out.write(f"events: reconnecting in {backoff:.1f}s "
+                  f"(attempt {attempts}/{max_retries})\n")
+        out.flush()
+        time.sleep(backoff)
+        backoff = min(backoff * 2.0, STREAM_BACKOFF_CAP_S)

@@ -79,8 +79,9 @@ def merge_shards(
     if cleanup:
         try:
             os.rmdir(shard_dir)
-        except OSError:
-            pass  # non-shard files present, or dir never created
+        except OSError as exc:
+            # Non-shard files present, or the dir was never created.
+            logger.debug("leaving shard dir %s in place: %s", shard_dir, exc)
     return stats
 
 

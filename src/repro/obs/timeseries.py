@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.flightrec import record as flightrec_record
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 #: Default ring capacity (points retained per series).
@@ -192,6 +193,9 @@ class TimeSeriesStore:
         return s
 
     def record(self, name: str, value: float, ts: Optional[float] = None) -> None:
+        # Store-level samples also feed the flight recorder (the hot-path
+        # ``Series.record`` handle calls used inside kernels do not).
+        flightrec_record("series.sample", {"name": name, "value": value}, ts=ts)
         self.series(name).record(value, ts=ts)
 
     def get(self, name: str) -> Optional[Series]:

@@ -44,6 +44,7 @@ import time
 from typing import IO, Any, Dict, Optional, Union
 
 from repro.obs.events import SCHEMA_VERSION, JsonlWriter, jsonable
+from repro.obs.flightrec import record as flightrec_record
 
 #: Directory holding per-worker trace shards, next to the parent trace file:
 #: ``/path/run.jsonl`` -> ``/path/run.jsonl.shards/worker-<pid>.jsonl``.
@@ -91,6 +92,11 @@ class Span:
         self._ts = time.time()
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
+        flightrec_record(
+            "trace.span_open",
+            {"name": self.name, "span_id": self.span_id, "depth": self.depth},
+            ts=self._ts,
+        )
         return self
 
     def record(self, **attrs) -> None:
@@ -273,6 +279,13 @@ class Tracer:
         self._emit(record)
 
     def _emit(self, record: dict) -> None:
+        # Every record that reaches a sink also lands on the black-box
+        # flight recorder, so crash bundles keep the final spans/events
+        # even when the trace file itself is lost or torn.
+        flightrec_record(
+            "trace." + str(record.get("type", "record")),
+            record, ts=record.get("ts"),
+        )
         if self._writer is not None:
             self._writer.write(record)
 

@@ -10,6 +10,10 @@ Public surface:
 * :func:`seed_sequence` / :func:`task_rng` / :func:`spawn_key` — per-task
   seed derivation (:mod:`repro.runtime.seeding`).
 * Checkpoint plumbing (:mod:`repro.runtime.checkpoint`).
+* :class:`ChunkWatchdog` — parent-side stall monitor that abandons hung
+  workers and reroutes their chunks through the serial-retry path
+  (:mod:`repro.runtime.watchdog`); env-gated fault injection for
+  exercising it lives in :mod:`repro.runtime.faults`.
 
 See ``docs/parallelism.md`` for the determinism guarantees, the backend
 decision table and the checkpoint file format.
@@ -42,7 +46,14 @@ from repro.runtime.engine import (
     run_chunk_instrumented,
     run_sweep,
 )
+from repro.runtime.faults import HANG_CHUNK_ENV, HangCancelled
 from repro.runtime.seeding import seed_sequence, spawn_key, task_rng
+from repro.runtime.watchdog import (
+    TIMEOUT_ENV,
+    WATCHDOG_ENV,
+    ChunkWatchdog,
+    watchdog_enabled,
+)
 
 __all__ = [
     "BACKENDS",
@@ -50,12 +61,18 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointMismatch",
     "CellSpec",
+    "ChunkWatchdog",
     "DEFAULT_CHUNK_SIZE",
+    "HANG_CHUNK_ENV",
+    "HangCancelled",
     "MEMORY_ENV_FLAG",
     "POOL_MIN_TRIALS",
     "SweepError",
     "SweepResult",
+    "TIMEOUT_ENV",
+    "WATCHDOG_ENV",
     "WORKER_ENV_FLAG",
+    "watchdog_enabled",
     "assemble_results",
     "batched_kernel_for",
     "drain_overheads",

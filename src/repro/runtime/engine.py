@@ -56,22 +56,26 @@ import threading
 import time
 import tracemalloc
 from concurrent.futures import (
+    FIRST_COMPLETED,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
-    as_completed,
+    wait,
 )
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs import get_logger, metrics, shards, trace
 from repro.obs.events import jsonable
+from repro.obs.flightrec import record as flightrec_record
 from repro.obs.metrics import Timer
 from repro.obs.profile import attribute_chunks
 from repro.obs.progress import SweepProgress
 from repro.obs.timeseries import get_store
+from repro.runtime import faults
 from repro.runtime.checkpoint import open_checkpoint, sweep_header
 from repro.runtime.seeding import seed_sequence
+from repro.runtime.watchdog import ChunkWatchdog
 from repro.utils.validation import require
 
 logger = get_logger(__name__)
@@ -251,6 +255,8 @@ class SweepResult:
         results: Per-cell kernel results, ordered by trial index.
         chunk_failures: Work items that needed a serial retry.
         resumed_chunks: Work items loaded from the checkpoint.
+        watchdog_stalls: Stall declarations by the chunk watchdog (each
+            one abandoned the in-flight work and drained it serially).
         overhead: Per-worker wall-time attribution of this run (see
             :meth:`repro.obs.profile.SweepAttribution.to_dict`), or None
             when every chunk came from the checkpoint.
@@ -262,6 +268,7 @@ class SweepResult:
     results: List[List[Any]]
     chunk_failures: int = 0
     resumed_chunks: int = 0
+    watchdog_stalls: int = 0
     overhead: Optional[Dict[str, Any]] = None
 
     def cell_results(self, key: Any) -> List[Any]:
@@ -296,7 +303,13 @@ def run_chunk(
     code the serial path and the failure-retry path run — one
     implementation, three call sites, so the equivalence tests compare
     scheduling only.
+
+    The env-gated hang fault (:func:`repro.runtime.faults
+    .maybe_hang_chunk`) sits before the trial loop: a cancelled hang
+    raises before any trial runs, so a watchdog-killed chunk never
+    produces a partial result.
     """
+    faults.maybe_hang_chunk(cell_index, start, stop)
     out: List[list] = []
     for t in range(start, stop):
         seed = seed_sequence(master_seed, sweep, cell_index, t)
@@ -401,6 +414,7 @@ def run_chunk_batched(
     chunk would consume one-by-one, which is what makes batched results
     comparable across backends.
     """
+    faults.maybe_hang_chunk(cell_index, start, stop)
     seeds = [
         seed_sequence(master_seed, sweep, cell_index, t)
         for t in range(start, stop)
@@ -514,6 +528,10 @@ def _account_chunk(
     # runs (parent-side only, like the counters above).
     _STORE.record("runtime.chunk_wall_s", rec["wall_s"], ts=done_ts)
     _STORE.record("runtime.chunk_queue_wait_s", rec["queue_wait_s"], ts=done_ts)
+    # The chunk envelope (minus the result payload) also lands on the
+    # always-on flight recorder, so a crash bundle shows which chunks
+    # completed in the final seconds even when no trace was configured.
+    flightrec_record("runtime.chunk", rec, ts=done_ts)
     trace.event("runtime.chunk", **rec)
 
 
@@ -633,6 +651,7 @@ def run_sweep(
     if os.environ.get(MEMORY_ENV_FLAG) == "1" and not tracemalloc.is_tracing():
         tracemalloc.start()
         started_mem = True
+    watchdog = ChunkWatchdog.create(name, mode, effective_workers) if pending else None
     sweep_timer = Timer()
     with trace.span(
         "runtime.sweep", sweep=name, workers=effective_workers,
@@ -644,37 +663,35 @@ def run_sweep(
             if not pending:
                 pass
             elif mode == "serial":
-                for task in pending:
-                    cell_index, chunk_index, start, stop = task
-                    submit_ts = time.time()
-                    envelope = run_chunk_instrumented(
-                        kernel, name, master_seed, cells[cell_index].params,
-                        cell_index, chunk_index, start, stop, measure_ser=False,
-                    )
-                    _account_chunk(acct, name, task, "serial", submit_ts, envelope)
-                    finish(task, envelope["pairs"])
+                failures = _run_serial(
+                    name, kernel, cells, master_seed, pending, finish,
+                    progress, acct, watchdog,
+                )
             elif mode == "batched":
                 failures = _run_batched(
                     name, kernel, cells, master_seed, pending, finish,
-                    progress, acct,
+                    progress, acct, watchdog,
                 )
             elif mode == "thread":
                 failures = _run_threads(
                     name, kernel, cells, master_seed, workers, pending, finish,
-                    progress, acct,
+                    progress, acct, watchdog,
                 )
             else:
                 failures = _run_pool(
                     name, kernel, cells, master_seed, workers, pending, finish,
-                    progress, acct,
+                    progress, acct, watchdog,
                 )
         finally:
+            if watchdog is not None:
+                watchdog.stop()
             if started_mem:
                 tracemalloc.stop()
             if writer is not None:
                 writer.close()
             progress.close()
         sweep_timer.stop()
+        stalls = watchdog.stall_count if watchdog is not None else 0
         overhead: Optional[Dict[str, Any]] = None
         if acct:
             overhead = attribute_chunks(
@@ -683,12 +700,13 @@ def run_sweep(
             _SWEEP_OVERHEADS.append(overhead)
             span.record(
                 chunk_failures=failures,
+                watchdog_stalls=stalls,
                 utilization=overhead["utilization"],
                 dispatch_frac=overhead["dispatch_frac"],
                 serialization_frac=overhead["serialization_frac"],
             )
         else:
-            span.record(chunk_failures=failures)
+            span.record(chunk_failures=failures, watchdog_stalls=stalls)
 
     results = assemble_results(cells, completed)
     return SweepResult(
@@ -698,8 +716,151 @@ def run_sweep(
         results=results,
         chunk_failures=failures,
         resumed_chunks=resumed,
+        watchdog_stalls=stalls,
         overhead=overhead,
     )
+
+
+def _retry_serially(
+    name: str,
+    kernel: Callable[[Any, Any], Any],
+    cells: Sequence[CellSpec],
+    master_seed: int,
+    task: Task,
+    error: BaseException,
+    where: str,
+    finish: Callable[[Task, List[list]], None],
+    progress: Optional[SweepProgress],
+    acct_list: List[Dict[str, Any]],
+    watchdog: Optional[ChunkWatchdog],
+) -> None:
+    """Account one failed chunk and re-run it serially in the parent.
+
+    The single fault-tolerance funnel every backend shares: batched
+    numerical edge cases, in-thread kernel errors, dead pool workers and
+    watchdog-abandoned stalls all land here, so a failed chunk costs its
+    speedup rather than the sweep.  ``where`` is prose for the log line
+    ("in a thread", "after a watchdog stall", ...).
+    """
+    cell_index, chunk_index, start, stop = task
+    _CHUNK_FAILURES.inc()
+    if progress is not None:
+        progress.chunk_failed()
+    logger.warning(
+        "chunk (cell=%d, chunk=%d) of sweep %r failed %s (%s: %s); "
+        "retrying serially in-parent",
+        cell_index, chunk_index, name, where, type(error).__name__, error,
+    )
+    trace.event(
+        "runtime.chunk_failure", sweep=name, cell=cell_index,
+        chunk=chunk_index, error=type(error).__name__,
+    )
+    retry_ts = time.time()
+    envelope = run_chunk_instrumented(
+        kernel, name, master_seed, cells[cell_index].params,
+        cell_index, chunk_index, start, stop, measure_ser=False,
+    )
+    _SERIAL_RETRIES.inc()
+    if progress is not None:
+        progress.retry_done()
+    _account_chunk(acct_list, name, task, "retry", retry_ts, envelope)
+    finish(task, envelope["pairs"])
+    if watchdog is not None:
+        watchdog.completed(task, float(envelope["wall_s"]))
+
+
+def _drain_stalled(
+    name: str,
+    kernel: Callable[[Any, Any], Any],
+    cells: Sequence[CellSpec],
+    master_seed: int,
+    remaining: Dict["Future[Envelope]", Tuple[Task, float, Tuple[int, float]]],
+    mode: str,
+    finish: Callable[[Task, List[list]], None],
+    progress: Optional[SweepProgress],
+    acct_list: List[Dict[str, Any]],
+    watchdog: Optional[ChunkWatchdog],
+) -> int:
+    """Recover the futures a stalled backend abandoned; returns retries.
+
+    Futures that did complete before (or while) the stall was declared
+    are salvaged through the normal accounting path — their results are
+    bit-identical to a retry's, but salvaging keeps their envelopes
+    honest.  Everything else is cancelled and re-run serially through
+    :func:`_retry_serially`; the watchdog has already released
+    cooperative fault hangs, so retries of the stalled chunks run clean.
+    """
+    if watchdog is not None:
+        watchdog.abandon_all()
+    failures = 0
+    for future, (task, submit_ts, ser_cost) in sorted(
+        remaining.items(), key=lambda item: item[1][0]
+    ):
+        salvage_error: Optional[BaseException] = None
+        if future.done():
+            try:
+                envelope = future.result()
+                _account_chunk(
+                    acct_list, name, task, mode, submit_ts, envelope, ser_cost
+                )
+                finish(task, envelope["pairs"])
+                continue
+            except Exception as exc:
+                salvage_error = exc
+        else:
+            future.cancel()
+            salvage_error = TimeoutError(
+                "chunk abandoned by the watchdog after a stall"
+            )
+        failures += 1
+        _retry_serially(
+            name, kernel, cells, master_seed, task, salvage_error,
+            "after a watchdog stall", finish, progress, acct_list, watchdog,
+        )
+    return failures
+
+
+def _run_serial(
+    name: str,
+    kernel: Callable[[Any, Any], Any],
+    cells: Sequence[CellSpec],
+    master_seed: int,
+    pending: Sequence[Task],
+    finish: Callable[[Task, List[list]], None],
+    progress: Optional[SweepProgress] = None,
+    acct: Optional[List[Dict[str, Any]]] = None,
+    watchdog: Optional[ChunkWatchdog] = None,
+) -> int:
+    """Run chunks inline in the parent; retry in-chunk failures once.
+
+    Serial chunks historically could not fail without killing the sweep;
+    with cooperative fault hangs (:mod:`repro.runtime.faults`) a chunk
+    hung *in the parent* is cancelled by the watchdog mid-call and raises,
+    so the serial loop now owns the same retry funnel as the pools.
+    """
+    failures = 0
+    acct_list: List[Dict[str, Any]] = [] if acct is None else acct
+    for task in pending:
+        cell_index, chunk_index, start, stop = task
+        if watchdog is not None:
+            watchdog.submitted(task)
+        submit_ts = time.time()
+        try:
+            envelope = run_chunk_instrumented(
+                kernel, name, master_seed, cells[cell_index].params,
+                cell_index, chunk_index, start, stop, measure_ser=False,
+            )
+            _account_chunk(acct_list, name, task, "serial", submit_ts, envelope)
+            finish(task, envelope["pairs"])
+            if watchdog is not None:
+                watchdog.completed(task, float(envelope["wall_s"]))
+        except Exception as exc:
+            failures += 1
+            _retry_serially(
+                name, kernel, cells, master_seed, task, exc,
+                "in the serial loop", finish, progress, acct_list, watchdog,
+            )
+    return failures
 
 
 def _run_batched(
@@ -711,6 +872,7 @@ def _run_batched(
     finish: Callable[[Task, List[list]], None],
     progress: Optional[SweepProgress] = None,
     acct: Optional[List[Dict[str, Any]]] = None,
+    watchdog: Optional[ChunkWatchdog] = None,
 ) -> int:
     """Run chunks through the kernel's batched twin, in-parent.
 
@@ -727,6 +889,8 @@ def _run_batched(
     acct_list: List[Dict[str, Any]] = [] if acct is None else acct
     for task in pending:
         cell_index, chunk_index, start, stop = task
+        if watchdog is not None:
+            watchdog.submitted(task)
         submit_ts = time.time()
         try:
             envelope = run_chunk_batched_instrumented(
@@ -734,30 +898,15 @@ def _run_batched(
                 cell_index, chunk_index, start, stop,
             )
             _account_chunk(acct_list, name, task, "batched", submit_ts, envelope)
+            finish(task, envelope["pairs"])
+            if watchdog is not None:
+                watchdog.completed(task, float(envelope["wall_s"]))
         except Exception as exc:
             failures += 1
-            _CHUNK_FAILURES.inc()
-            if progress is not None:
-                progress.chunk_failed()
-            logger.warning(
-                "batched chunk (cell=%d, chunk=%d) of sweep %r failed "
-                "(%s: %s); retrying serially through the scalar kernel",
-                cell_index, chunk_index, name, type(exc).__name__, exc,
+            _retry_serially(
+                name, kernel, cells, master_seed, task, exc,
+                "in the batched path", finish, progress, acct_list, watchdog,
             )
-            trace.event(
-                "runtime.chunk_failure", sweep=name, cell=cell_index,
-                chunk=chunk_index, error=type(exc).__name__,
-            )
-            retry_ts = time.time()
-            envelope = run_chunk_instrumented(
-                kernel, name, master_seed, cells[cell_index].params,
-                cell_index, chunk_index, start, stop, measure_ser=False,
-            )
-            _SERIAL_RETRIES.inc()
-            if progress is not None:
-                progress.retry_done()
-            _account_chunk(acct_list, name, task, "retry", retry_ts, envelope)
-        finish(task, envelope["pairs"])
     return failures
 
 
@@ -771,6 +920,7 @@ def _run_threads(
     finish: Callable[[Task, List[list]], None],
     progress: Optional[SweepProgress] = None,
     acct: Optional[List[Dict[str, Any]]] = None,
+    watchdog: Optional[ChunkWatchdog] = None,
 ) -> int:
     """Dispatch chunks to a thread pool; retry failures in the main thread.
 
@@ -778,55 +928,87 @@ def _run_threads(
     no shards, no worker env flag — so the only overhead is queueing and
     the GIL contention of the kernels' pure-python glue (numpy releases
     the GIL inside BLAS/FFT calls).  Returns the number of chunks retried
-    after an in-thread kernel failure.
+    after an in-thread kernel failure or a watchdog stall.
+
+    The result loop polls :func:`concurrent.futures.wait` with the
+    watchdog's cadence instead of blocking in ``as_completed`` — a hung
+    worker thread can therefore stall the *loop* but not the sweep: on
+    ``watchdog.stalled`` the loop breaks out, salvages whatever did
+    finish, and re-runs the rest serially.  Threads cannot be killed, so
+    shutdown of a stalled pool does not wait: cooperatively-cancelled
+    hangs (the injected-fault case) unwind on their own, and a genuinely
+    stuck thread is left behind as the documented cost of this backend.
     """
     failures = 0
     acct_list: List[Dict[str, Any]] = [] if acct is None else acct
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures: Dict[Future[Envelope], Tuple[Task, float]] = {}
+    stalled = False
+    pool = ThreadPoolExecutor(max_workers=workers)
+    try:
+        futures: Dict[Future[Envelope], Tuple[Task, float, Tuple[int, float]]] = {}
         for task in pending:
+            if watchdog is not None:
+                watchdog.submitted(task)
             submit_ts = time.time()
             future = pool.submit(
                 run_chunk_instrumented, kernel, name, master_seed,
                 cells[task[0]].params, task[0], task[1], task[2], task[3],
                 False,
             )
-            futures[future] = (task, submit_ts)
-        for future in as_completed(futures):
-            task, submit_ts = futures[future]
-            cell_index, chunk_index, start, stop = task
-            try:
-                envelope = future.result()
-                _account_chunk(
-                    acct_list, name, task, "thread", submit_ts, envelope
-                )
-            except Exception as exc:
-                failures += 1
-                _CHUNK_FAILURES.inc()
-                if progress is not None:
-                    progress.chunk_failed()
-                logger.warning(
-                    "chunk (cell=%d, chunk=%d) of sweep %r failed in a "
-                    "thread (%s: %s); retrying in the main thread",
-                    cell_index, chunk_index, name, type(exc).__name__, exc,
-                )
-                trace.event(
-                    "runtime.chunk_failure", sweep=name, cell=cell_index,
-                    chunk=chunk_index, error=type(exc).__name__,
-                )
-                retry_ts = time.time()
-                envelope = run_chunk_instrumented(
-                    kernel, name, master_seed, cells[cell_index].params,
-                    cell_index, chunk_index, start, stop, measure_ser=False,
-                )
-                _SERIAL_RETRIES.inc()
-                if progress is not None:
-                    progress.retry_done()
-                _account_chunk(
-                    acct_list, name, task, "retry", retry_ts, envelope
-                )
-            finish(task, envelope["pairs"])
+            futures[future] = (task, submit_ts, (0, 0.0))
+        not_done = set(futures)
+        while not_done:
+            if watchdog is not None and watchdog.stalled.is_set():
+                stalled = True
+                break
+            timeout = (
+                watchdog.poll_interval_s if watchdog is not None else None
+            )
+            done, not_done = wait(
+                not_done, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                task, submit_ts, _ser = futures[future]
+                try:
+                    envelope = future.result()
+                    _account_chunk(
+                        acct_list, name, task, "thread", submit_ts, envelope
+                    )
+                    finish(task, envelope["pairs"])
+                    if watchdog is not None:
+                        watchdog.completed(task, float(envelope["wall_s"]))
+                except Exception as exc:
+                    failures += 1
+                    _retry_serially(
+                        name, kernel, cells, master_seed, task, exc,
+                        "in a thread", finish, progress, acct_list, watchdog,
+                    )
+        if stalled:
+            failures += _drain_stalled(
+                name, kernel, cells, master_seed,
+                {f: futures[f] for f in not_done}, "thread",
+                finish, progress, acct_list, watchdog,
+            )
+    finally:
+        pool.shutdown(wait=not stalled, cancel_futures=stalled)
     return failures
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> int:
+    """Terminate every live worker of a stalled process pool; returns count.
+
+    Required before a no-wait shutdown: ``concurrent.futures`` joins its
+    workers at interpreter exit, so a hung worker left alive would block
+    process exit long after the sweep itself recovered.
+    """
+    killed = 0
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            if proc.is_alive():
+                proc.terminate()
+                killed += 1
+        except Exception as exc:
+            logger.debug("terminating stalled pool worker failed: %s", exc)
+    return killed
 
 
 def _run_pool(
@@ -839,6 +1021,7 @@ def _run_pool(
     finish: Callable[[Task, List[list]], None],
     progress: Optional[SweepProgress] = None,
     acct: Optional[List[Dict[str, Any]]] = None,
+    watchdog: Optional[ChunkWatchdog] = None,
 ) -> int:
     """Dispatch chunks to a process pool; retry failures serially in-parent.
 
@@ -847,10 +1030,17 @@ def _run_pool(
     future then fails fast and each chunk is re-run serially, so the sweep
     degrades gracefully to in-process execution rather than aborting.
 
+    A *hung* worker never breaks the pool on its own — the result loop
+    therefore polls :func:`concurrent.futures.wait` with the watchdog's
+    cadence, and on ``watchdog.stalled`` it breaks out, terminates every
+    worker (a stuck process cannot be asked nicely, and an un-killed one
+    would block interpreter exit), salvages the futures that did finish,
+    and re-runs the rest serially through the shared retry funnel.
+
     When the parent traces to a file, workers write per-process trace
     shards (see :func:`_worker_init`) that are merged back into the parent
-    trace once the pool has shut down — ``Executor.__exit__`` joins every
-    worker, so shard files are complete by merge time.
+    trace once the pool has shut down; :func:`repro.obs.shards
+    .merge_shards` tolerates the torn shard a killed worker leaves behind.
     """
     failures = 0
     acct_list: List[Dict[str, Any]] = [] if acct is None else acct
@@ -876,52 +1066,64 @@ def _run_pool(
             cached = ser_cache[task[0]] = (size, probe.wall_s)
         return cached
 
-    with ProcessPoolExecutor(
+    stalled = False
+    pool = ProcessPoolExecutor(
         max_workers=workers, initializer=_worker_init, initargs=(worker_ctx,),
-    ) as pool:
+    )
+    try:
         futures: Dict[Future[Envelope], Tuple[Task, float, Tuple[int, float]]] = {}
         for task in pending:
             ser_cost = task_ser_cost(task)
+            if watchdog is not None:
+                watchdog.submitted(task)
             submit_ts = time.time()
             future = pool.submit(
                 run_chunk_instrumented, kernel, name, master_seed,
                 cells[task[0]].params, task[0], task[1], task[2], task[3],
             )
             futures[future] = (task, submit_ts, ser_cost)
-        for future in as_completed(futures):
-            task, submit_ts, ser_cost = futures[future]
-            cell_index, chunk_index, start, stop = task
-            try:
-                envelope = future.result()
-                _account_chunk(
-                    acct_list, name, task, "pool", submit_ts, envelope, ser_cost
-                )
-            except Exception as exc:  # kernel error or broken pool
-                failures += 1
-                _CHUNK_FAILURES.inc()
-                if progress is not None:
-                    progress.chunk_failed()
+        not_done = set(futures)
+        while not_done:
+            if watchdog is not None and watchdog.stalled.is_set():
+                stalled = True
+                break
+            timeout = (
+                watchdog.poll_interval_s if watchdog is not None else None
+            )
+            done, not_done = wait(
+                not_done, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                task, submit_ts, ser_cost = futures[future]
+                try:
+                    envelope = future.result()
+                    _account_chunk(
+                        acct_list, name, task, "pool", submit_ts, envelope,
+                        ser_cost,
+                    )
+                    finish(task, envelope["pairs"])
+                    if watchdog is not None:
+                        watchdog.completed(task, float(envelope["wall_s"]))
+                except Exception as exc:  # kernel error or broken pool
+                    failures += 1
+                    _retry_serially(
+                        name, kernel, cells, master_seed, task, exc,
+                        "in the pool", finish, progress, acct_list, watchdog,
+                    )
+        if stalled:
+            killed = _kill_pool_workers(pool)
+            if killed:
                 logger.warning(
-                    "chunk (cell=%d, chunk=%d) of sweep %r failed in the "
-                    "pool (%s: %s); retrying serially",
-                    cell_index, chunk_index, name, type(exc).__name__, exc,
+                    "watchdog stall on sweep %r: terminated %d pool worker(s)",
+                    name, killed,
                 )
-                trace.event(
-                    "runtime.chunk_failure", sweep=name, cell=cell_index,
-                    chunk=chunk_index, error=type(exc).__name__,
-                )
-                retry_ts = time.time()
-                envelope = run_chunk_instrumented(
-                    kernel, name, master_seed, cells[cell_index].params,
-                    cell_index, chunk_index, start, stop, measure_ser=False,
-                )
-                _SERIAL_RETRIES.inc()
-                if progress is not None:
-                    progress.retry_done()
-                _account_chunk(
-                    acct_list, name, task, "retry", retry_ts, envelope
-                )
-            finish(task, envelope["pairs"])
+            failures += _drain_stalled(
+                name, kernel, cells, master_seed,
+                {f: futures[f] for f in not_done}, "pool",
+                finish, progress, acct_list, watchdog,
+            )
+    finally:
+        pool.shutdown(wait=not stalled, cancel_futures=stalled)
     if worker_ctx is not None:
         stats = shards.merge_shards(
             trace,

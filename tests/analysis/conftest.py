@@ -29,6 +29,7 @@ FIXTURE_DEST = {
     "OBS002": "src/repro/sim/fixture_mod.py",
     "OBS003": "src/repro/sim/fixture_mod.py",
     "OBS004": "src/repro/sim/fixture_mod.py",
+    "OBS005": "src/repro/obs/fixture_mod.py",
 }
 
 

@@ -1,0 +1,15 @@
+"""Silently swallowed exceptions in obs plumbing (flagged by OBS005)."""
+
+
+def publish(bus, payload):
+    try:
+        bus.put_nowait(payload)
+    except Exception:
+        pass
+
+
+def read_snapshot(path):
+    try:
+        return path.read_text()
+    except OSError:
+        "best effort"

@@ -15,8 +15,10 @@ from repro.obs.serve import (
     OPENMETRICS_CONTENT_TYPE,
     EventBus,
     TelemetryServer,
+    _iter_sse_frames,
     fetch_json,
     render_status,
+    stream_events,
     watch,
 )
 from repro.obs.timeseries import TimeSeriesStore
@@ -264,3 +266,105 @@ class TestRenderStatus:
         text = render_status({"series": {}}, alerts)
         assert "FIRING [critical] a.b" in text
         assert "p95=0.2" in text
+
+
+class TestDropTelemetry:
+    """Satellite: bus drops surface as the obs.events.dropped counter."""
+
+    def test_drops_land_on_metric_and_series(self):
+        from repro.obs.serve import _EVENTS_DROPPED
+        from repro.obs.timeseries import get_store
+
+        before = _EVENTS_DROPPED.value
+        bus = EventBus(maxsize=1)
+        bus.subscribe()
+        for i in range(4):
+            bus.publish("tick", {"n": i})
+        assert bus.dropped == 3
+        assert _EVENTS_DROPPED.value == before + 3
+        series = get_store().get("obs.events.dropped")
+        assert series is not None
+        assert series.points()[-1][1] == float(_EVENTS_DROPPED.value)
+
+    def test_clean_publish_records_nothing_new(self):
+        from repro.obs.serve import _EVENTS_DROPPED
+
+        before = _EVENTS_DROPPED.value
+        bus = EventBus(maxsize=4)
+        bus.subscribe()
+        bus.publish("tick", {"n": 1})
+        assert bus.dropped == 0
+        assert _EVENTS_DROPPED.value == before
+
+
+class TestStreamEvents:
+    def test_iter_sse_frames_parses_events_keepalives_and_raw(self):
+        raw = (b"event: progress\n"
+               b'data: {"a": 1}\n'
+               b"\n"
+               b": keep-alive\n"
+               b"data: notjson\n"
+               b"\n")
+        frames = list(_iter_sse_frames(io.BytesIO(raw)))
+        assert frames == [
+            ("progress", {"a": 1}),
+            (None, None),
+            ("message", {"raw": "notjson"}),
+        ]
+
+    def test_bounded_stream_exits_zero(self, server):
+        out = io.StringIO()
+        assert stream_events(server.url, max_events=1, stream=out) == 0
+        (line,) = [ln for ln in out.getvalue().splitlines()
+                   if ln.startswith("{")]
+        doc = json.loads(line)
+        assert doc["event"] == "hello"
+
+    def test_no_reconnect_exits_one_on_unreachable(self):
+        out = io.StringIO()
+        code = stream_events("http://127.0.0.1:9", reconnect=False,
+                             timeout=0.5, stream=out)
+        assert code == 1
+        assert "unreachable" in out.getvalue()
+
+    def test_gives_up_after_retry_budget(self, monkeypatch):
+        import repro.obs.serve as serve_mod
+
+        monkeypatch.setattr(serve_mod, "STREAM_BACKOFF_S", 0.01)
+        monkeypatch.setattr(serve_mod, "STREAM_BACKOFF_CAP_S", 0.02)
+        out = io.StringIO()
+        code = stream_events("http://127.0.0.1:9", max_retries=3,
+                             timeout=0.3, stream=out)
+        assert code == 1
+        text = out.getvalue()
+        assert text.count("reconnecting") == 3
+        assert "giving up after 3" in text
+
+    def test_reconnects_across_drops_and_resets_budget(self, monkeypatch):
+        import urllib.request as _request
+
+        import repro.obs.serve as serve_mod
+
+        monkeypatch.setattr(serve_mod, "STREAM_BACKOFF_S", 0.01)
+        monkeypatch.setattr(serve_mod, "STREAM_BACKOFF_CAP_S", 0.02)
+        responses = [
+            io.BytesIO(b'data: {"n": 1}\n\n'),      # one frame, clean close
+            urllib.error.URLError("still down"),    # failed reconnect
+            io.BytesIO(b'data: {"n": 2}\n\n'),      # back up again
+        ]
+
+        def fake_urlopen(url, timeout=None):
+            item = responses.pop(0)
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        monkeypatch.setattr(_request, "urlopen", fake_urlopen)
+        out = io.StringIO()
+        code = stream_events("http://127.0.0.1:9", max_retries=2,
+                             max_events=2, stream=out)
+        assert code == 0
+        lines = out.getvalue().splitlines()
+        payloads = [json.loads(ln)["n"] for ln in lines if ln.startswith("{")]
+        assert payloads == [1, 2]
+        assert sum("reconnecting" in ln for ln in lines) == 2

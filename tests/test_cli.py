@@ -200,3 +200,40 @@ class TestLiveTelemetry:
 
     def test_obs_watch_unreachable_exits_one(self, capsys):
         assert main(["obs", "watch", "http://127.0.0.1:9", "--once"]) == 1
+
+    def test_obs_watch_events_streams_sse_lines(self, clean_store, capsys):
+        from repro.obs.serve import TelemetryServer
+
+        server = TelemetryServer(port=0, store=clean_store).start()
+        try:
+            assert main(["obs", "watch", server.url, "--events",
+                         "--max-events", "1"]) == 0
+        finally:
+            server.stop()
+        out = capsys.readouterr().out
+        assert json.loads(out.splitlines()[0])["event"] == "hello"
+
+    def test_obs_watch_events_no_reconnect_exits_one(self, capsys):
+        assert main(["obs", "watch", "http://127.0.0.1:9", "--events",
+                     "--no-reconnect"]) == 1
+
+
+class TestBlackboxParser:
+    def test_show_defaults_to_latest(self):
+        args = build_parser().parse_args(["obs", "blackbox", "show"])
+        assert args.bundle == "latest"
+        assert args.records == 10 and args.as_json is False
+
+    def test_list_and_show_parse(self):
+        args = build_parser().parse_args(["obs", "blackbox", "list"])
+        assert args.blackbox_command == "list"
+        args = build_parser().parse_args(
+            ["obs", "blackbox", "show", "abc", "--records", "3", "--json"])
+        assert (args.bundle, args.records, args.as_json) == ("abc", 3, True)
+
+    def test_watch_events_flags(self):
+        args = build_parser().parse_args(
+            ["obs", "watch", "u", "--events", "--no-reconnect",
+             "--max-retries", "2", "--max-events", "5"])
+        assert args.events and args.no_reconnect
+        assert args.max_retries == 2 and args.max_events == 5
